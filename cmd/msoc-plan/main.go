@@ -1,0 +1,144 @@
+// Command msoc-plan runs the mixed-signal test planner on a SOC and
+// prints the chosen wrapper-sharing configuration, cost breakdown, and
+// TAM schedule.
+//
+// Usage:
+//
+//	msoc-plan [-soc file.soc] [-width 32] [-wt 0.5] [-exhaustive] [-gantt]
+//
+// Without -soc the embedded p93791m benchmark is used (the paper's
+// experimental SOC). With -soc, the digital SOC is read from the file
+// and the paper's five analog cores are attached.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mixsoc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msoc-plan: ")
+
+	socPath := flag.String("soc", "", "digital SOC file (ITC'02-style format); default: embedded p93791")
+	width := flag.Int("width", 32, "SOC-level TAM width W")
+	wt := flag.Float64("wt", 0.5, "test-time cost weight wT (wA = 1 - wT)")
+	exhaustive := flag.Bool("exhaustive", false, "use exhaustive evaluation instead of Cost_Optimizer")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+	csvPath := flag.String("csv", "", "write the schedule as CSV to this file")
+	sweep := flag.Bool("sweep", false, "sweep TAM widths 32..64 and the three paper weight settings instead of a single plan")
+	flag.Parse()
+
+	design := mixsoc.P93791M()
+	if *socPath != "" {
+		f, err := os.Open(*socPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		soc, err := mixsoc.LoadSOC(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		design = &mixsoc.Design{Name: soc.Name + "-m", Digital: soc, Analog: mixsoc.PaperAnalogCores()}
+	}
+
+	if *sweep {
+		runSweep(design, *exhaustive)
+		return
+	}
+
+	weights := mixsoc.Weights{Time: *wt, Area: 1 - *wt}
+	planner := mixsoc.NewPlanner(design, *width, weights)
+
+	var (
+		res *mixsoc.Result
+		err error
+	)
+	if *exhaustive {
+		res, err = planner.Exhaustive()
+	} else {
+		res, err = planner.CostOptimizer()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TAM width %d, weights wT=%.2f wA=%.2f\n\n", *width, weights.Time, weights.Area)
+	fmt.Print(res.Report(design))
+
+	s, err := mixsoc.ScheduleFor(design, res.Best.Partition, *width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule: %d placements, %.1f%% TAM utilization\n",
+		len(s.Placements), 100*s.Utilization())
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(s.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("schedule written to %s\n", *csvPath)
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(s.Gantt(96))
+	} else {
+		fmt.Println("last five tests to finish:")
+		by := s.ByEnd()
+		for i := len(by) - 5; i < len(by); i++ {
+			if i < 0 {
+				continue
+			}
+			p := by[i]
+			fmt.Printf("  %-14s width %2d  [%9d .. %9d)\n", p.Job.ID, p.Width, p.Start, p.End)
+		}
+	}
+}
+
+// runSweep prints the cost surface over the paper's width range and
+// weight settings and the overall cheapest point.
+func runSweep(design *mixsoc.Design, exhaustive bool) {
+	widths := []int{32, 40, 48, 56, 64}
+	weights := []mixsoc.Weights{
+		{Time: 0.5, Area: 0.5},
+		{Time: 0.25, Area: 0.75},
+		{Time: 0.75, Area: 0.25},
+	}
+	points, err := mixsoc.Sweep(design, widths, weights, exhaustive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := design.AnalogNames()
+	fmt.Printf("cost sweep of %s (%s)\n\n", design.Name, method(exhaustive))
+	fmt.Printf("%-16s", "weights \\ W")
+	for _, w := range widths {
+		fmt.Printf(" %9s", fmt.Sprintf("W=%d", w))
+	}
+	fmt.Println()
+	i := 0
+	for _, wt := range weights {
+		fmt.Printf("wT=%.2f wA=%.2f ", wt.Time, wt.Area)
+		for range widths {
+			fmt.Printf(" %9.2f", points[i].Result.Best.Cost)
+			i++
+		}
+		fmt.Println()
+	}
+	best, err := mixsoc.BestSweepPoint(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheapest point: W=%d wT=%.2f -> cost %.2f via %s\n",
+		best.Width, best.Weights.Time, best.Result.Best.Cost, best.Result.Best.Label(names))
+}
+
+func method(exhaustive bool) string {
+	if exhaustive {
+		return "exhaustive"
+	}
+	return "cost-optimizer"
+}

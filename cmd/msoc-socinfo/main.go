@@ -1,0 +1,79 @@
+// Command msoc-socinfo inspects a digital SOC description: module
+// summary, test-data volumes, and per-core wrapper staircases.
+//
+// Usage:
+//
+//	msoc-socinfo [-soc file.soc] [-width 64] [-top 10]
+//
+// Without -soc it describes the embedded p93791 benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"mixsoc"
+	"mixsoc/internal/wrapper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msoc-socinfo: ")
+
+	socPath := flag.String("soc", "", "SOC file; default: embedded p93791")
+	width := flag.Int("width", 64, "maximum TAM width for the wrapper staircases")
+	top := flag.Int("top", 10, "how many cores to detail (largest first)")
+	flag.Parse()
+
+	soc := mixsoc.P93791()
+	if *socPath != "" {
+		f, err := os.Open(*socPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var perr error
+		soc, perr = mixsoc.LoadSOC(f)
+		f.Close()
+		if perr != nil {
+			log.Fatal(perr)
+		}
+	}
+
+	fmt.Println(soc)
+	cores := soc.Cores()
+	sort.Slice(cores, func(a, b int) bool {
+		return cores[a].TestDataVolume() > cores[b].TestDataVolume()
+	})
+
+	var volume int64
+	for _, m := range cores {
+		volume += m.TestDataVolume()
+	}
+	fmt.Printf("total test data volume: %d bit-cycles\n", volume)
+	fmt.Printf("ideal time at W=%d:     >= %d cycles\n\n", *width, volume/int64(*width))
+
+	n := *top
+	if n > len(cores) {
+		n = len(cores)
+	}
+	fmt.Printf("%d largest cores (of %d):\n", n, len(cores))
+	for _, m := range cores[:n] {
+		pts, err := wrapper.Pareto(m, *width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s io=%d/%d/%d scan=%d chains (%d bits) patterns=%d\n",
+			m.Name, m.Inputs, m.Outputs, m.Bidirs, len(m.Scan), m.ScanBits(), m.Patterns())
+		fmt.Printf("           staircase:")
+		for i, p := range pts {
+			if i > 0 && i%6 == 0 {
+				fmt.Printf("\n                     ")
+			}
+			fmt.Printf(" %d:%d", p.Width, p.Time)
+		}
+		fmt.Println()
+	}
+}

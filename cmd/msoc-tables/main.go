@@ -1,0 +1,106 @@
+// Command msoc-tables regenerates the tables and figures of the paper's
+// evaluation (Section 6) and prints them as text.
+//
+// Usage:
+//
+//	msoc-tables [-table 1|2|3|4|5|fig5|all]
+//
+// Table "5" is the Section 5 implementation-facts summary. The default
+// regenerates everything. Tables 3 and 4 run the TAM optimizer many
+// times and take a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msoc-tables: ")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, fig5, or all")
+	rule := flag.String("areamodel", "paper", "wrapper area pricing for Table 1: paper, merged, or max")
+	flag.Parse()
+
+	var cm analog.CostModel
+	switch *rule {
+	case "paper":
+		cm = analog.PaperCostModel()
+	case "merged":
+		cm = analog.DefaultCostModel()
+	case "max":
+		cm = analog.DefaultCostModel()
+		cm.Rule = analog.MaxMemberArea
+	default:
+		log.Fatalf("unknown -areamodel %q (want paper, merged, or max)", *rule)
+	}
+
+	run := func(name string, f func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("table %s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("2", func() error {
+		fmt.Print(experiments.RenderTable2())
+		return nil
+	})
+	run("1", func() error {
+		rows, err := experiments.Table1(cm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		return nil
+	})
+	run("3", func() error {
+		res, err := experiments.Table3(nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable3(res))
+		return nil
+	})
+	run("4", func() error {
+		res, err := experiments.Table4(nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable4(res))
+		return nil
+	})
+	run("5", func() error {
+		f, err := experiments.Section5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSection5(f))
+		return nil
+	})
+	run("fig5", func() error {
+		res, err := experiments.Figure5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure5(res))
+		return nil
+	})
+
+	if *table != "all" {
+		switch *table {
+		case "1", "2", "3", "4", "5", "fig5":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+			os.Exit(2)
+		}
+	}
+}

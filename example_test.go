@@ -1,0 +1,82 @@
+package mixsoc_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mixsoc"
+)
+
+// ExamplePlan plans the paper's benchmark SOC at TAM width 32 with
+// balanced weights and prints the headline decision.
+func ExamplePlan() {
+	design := mixsoc.P93791M()
+	res, err := mixsoc.Plan(design, 32, mixsoc.EqualWeights)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("candidates considered: %d\n", res.Candidates)
+	fmt.Printf("wrappers in best plan: %d\n", res.Best.Partition.Wrappers())
+	fmt.Printf("heuristic pruned TAM runs: %v\n", res.NEval < res.Candidates)
+	// Output:
+	// candidates considered: 26
+	// wrappers in best plan: 2
+	// heuristic pruned TAM runs: true
+}
+
+// ExampleScheduleFor builds a schedule for an explicit sharing choice
+// (all analog cores behind one wrapper) and validates it.
+func ExampleScheduleFor() {
+	design := mixsoc.P93791M()
+	s, err := mixsoc.ScheduleFor(design, design.AllShare(), 48)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("placements: %d\n", len(s.Placements))
+	fmt.Printf("valid: %v\n", s.Validate() == nil)
+	fmt.Printf("serialized groups: %d\n", len(s.GroupSpans()))
+	// Output:
+	// placements: 52
+	// valid: true
+	// serialized groups: 1
+}
+
+// ExampleWrapperAccuracy runs the Section 5 experiment: the cut-off
+// frequency of a low-pass core measured through the 8-bit wrapper.
+func ExampleWrapperAccuracy() {
+	res, err := mixsoc.WrapperAccuracy()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("true fc: %.0f kHz\n", res.TrueFc/1e3)
+	fmt.Printf("error under 10%%: %v\n", res.ErrorPercent < 10)
+	// Output:
+	// true fc: 60 kHz
+	// error under 10%: true
+}
+
+// ExampleLoadSOC parses a digital SOC from its text form.
+func ExampleLoadSOC() {
+	soc, err := mixsoc.LoadSOC(strings.NewReader(`SocName tiny
+Module 1
+  Name c
+  Inputs 4
+  Outputs 4
+  ScanChains 2
+  ScanChainLengths 20 10
+  Test 1
+    Patterns 7
+  EndTest
+EndModule
+`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(soc)
+	// Output:
+	// tiny: 1 modules, 1 cores, 30 scan bits
+}

@@ -1,0 +1,171 @@
+// Baseband: test planning for a consumer-electronics SOC built from
+// scratch with the public API.
+//
+// Run with:
+//
+//	go run ./examples/baseband
+//
+// The paper motivates its method with high-volume, low-margin consumer
+// parts (MP3 players, PDAs, cellular basebands): many digital cores plus
+// a handful of low-to-mid-frequency analog cores. This example builds
+// such a chip — a small digital modem subsystem plus four analog cores —
+// and shows how the best wrapper-sharing architecture changes across TAM
+// widths and cost weightings, the trade-off at the heart of Section 4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mixsoc"
+)
+
+// digitalSubsystem describes the modem/control cores in the ITC'02-style
+// text format (it could equally be built with struct literals).
+const digitalSubsystem = `
+SocName mp3soc
+Module 1
+  Name viterbi
+  Inputs 64
+  Outputs 32
+  ScanChains 12
+  ScanChainLengths 210 208 206 205 203 201 200 198 196 195 193 191
+  Test 1
+    Patterns 220
+  EndTest
+EndModule
+Module 2
+  Name fft
+  Inputs 48
+  Outputs 48
+  ScanChains 8
+  ScanChainLengths 180 178 176 174 172 170 168 166
+  Test 1
+    Patterns 260
+  EndTest
+EndModule
+Module 3
+  Name audio_dsp
+  Inputs 40
+  Outputs 24
+  ScanChains 10
+  ScanChainLengths 150 149 148 146 145 143 142 140 139 137
+  Test 1
+    Patterns 300
+  EndTest
+EndModule
+Module 4
+  Name usb_ctrl
+  Inputs 30
+  Outputs 30
+  ScanChains 4
+  ScanChainLengths 120 118 116 114
+  Test 1
+    Patterns 180
+  EndTest
+EndModule
+Module 5
+  Name sram_bist
+  Inputs 20
+  Outputs 10
+  Test 1
+    Patterns 4000
+    ScanUse 0
+  EndTest
+EndModule
+Module 6
+  Name glue
+  Inputs 90
+  Outputs 60
+  Test 1
+    Patterns 600
+    ScanUse 0
+  EndTest
+EndModule
+`
+
+func analogCores() []*mixsoc.AnalogCore {
+	return []*mixsoc.AnalogCore{
+		{Name: "DACpath", Kind: "audio playback path", Tests: []mixsoc.AnalogTest{
+			{Name: "Gpb", FinLow: 1 * mixsoc.KHz, FinHigh: 20 * mixsoc.KHz, Fsample: 640 * mixsoc.KHz, Cycles: 60000, TAMWidth: 1, Resolution: 8},
+			{Name: "THD", FinLow: 1 * mixsoc.KHz, FinHigh: 10 * mixsoc.KHz, Fsample: 640 * mixsoc.KHz, Cycles: 90000, TAMWidth: 1, Resolution: 12},
+		}},
+		{Name: "MICpath", Kind: "record path", Tests: []mixsoc.AnalogTest{
+			{Name: "Gpb", FinLow: 1 * mixsoc.KHz, FinHigh: 20 * mixsoc.KHz, Fsample: 640 * mixsoc.KHz, Cycles: 55000, TAMWidth: 1, Resolution: 8},
+			{Name: "SNR", FinLow: 1 * mixsoc.KHz, FinHigh: 20 * mixsoc.KHz, Fsample: 640 * mixsoc.KHz, Cycles: 70000, TAMWidth: 1, Resolution: 12},
+		}},
+		{Name: "PLL", Kind: "clock synthesis", Tests: []mixsoc.AnalogTest{
+			{Name: "jitter", FinLow: 2 * mixsoc.MHz, FinHigh: 2 * mixsoc.MHz, Fsample: 16 * mixsoc.MHz, Cycles: 40000, TAMWidth: 4, Resolution: 8},
+			{Name: "lockrange", FinLow: 1 * mixsoc.MHz, FinHigh: 4 * mixsoc.MHz, Fsample: 16 * mixsoc.MHz, Cycles: 25000, TAMWidth: 2, Resolution: 8},
+		}},
+		{Name: "LDO", Kind: "supply regulator", Tests: []mixsoc.AnalogTest{
+			{Name: "loadstep", FinLow: 0, FinHigh: 0, Fsample: 100 * mixsoc.KHz, Cycles: 8000, TAMWidth: 1, Resolution: 8},
+		}},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	soc, err := mixsoc.LoadSOC(strings.NewReader(digitalSubsystem))
+	if err != nil {
+		log.Fatal(err)
+	}
+	design := &mixsoc.Design{Name: "mp3soc-m", Digital: soc, Analog: analogCores()}
+	if err := design.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	names := design.AnalogNames()
+	fmt.Printf("%s: %d digital cores, %d analog cores\n\n",
+		design.Name, len(soc.Cores()), len(design.Analog))
+
+	widths := []int{8, 16, 24, 32}
+	weightings := []mixsoc.Weights{
+		{Time: 0.75, Area: 0.25}, // test time dominates (high-volume part)
+		{Time: 0.5, Area: 0.5},
+		{Time: 0.25, Area: 0.75}, // silicon dominates (cost-down respin)
+	}
+
+	fmt.Printf("%-18s", "best sharing at")
+	for _, w := range widths {
+		fmt.Printf("  %14s", fmt.Sprintf("W=%d", w))
+	}
+	fmt.Println()
+	for _, wt := range weightings {
+		fmt.Printf("wT=%.2f wA=%.2f   ", wt.Time, wt.Area)
+		for _, w := range widths {
+			res, err := mixsoc.Plan(design, w, wt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %14s", res.Best.Label(names))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncost breakdown at W=16:")
+	fmt.Printf("%-18s %10s %8s %8s %8s\n", "weights", "cycles", "CT", "CA", "cost")
+	for _, wt := range weightings {
+		res, err := mixsoc.Plan(design, 16, wt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wT=%.2f wA=%.2f    %10d %8.1f %8.1f %8.2f   -> %s\n",
+			wt.Time, wt.Area, res.Best.TestTime, res.Best.CT, res.Best.CA,
+			res.Best.Cost, res.Best.Label(names))
+	}
+
+	// The area-pressure setting should share more aggressively than the
+	// time-pressure setting; show the extremes explicitly.
+	timeRes, err := mixsoc.Plan(design, 16, mixsoc.Weights{Time: 0.75, Area: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	areaRes, err := mixsoc.Plan(design, 16, mixsoc.Weights{Time: 0.25, Area: 0.75})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrappers used: %d when test time dominates, %d when area dominates\n",
+		timeRes.Best.Partition.Wrappers(), areaRes.Best.Partition.Wrappers())
+}

@@ -1,0 +1,80 @@
+// Codec-audit: how good does the analog test wrapper have to be?
+//
+// Run with:
+//
+//	go run ./examples/codec-audit
+//
+// Section 5 of the paper shows one wrapped measurement (the cut-off
+// frequency test of core A) and reports a ~5% error versus the direct
+// analog measurement. Before trusting a wrapper for production test of
+// an audio CODEC, a test engineer wants the full picture: how does the
+// measurement error move with the wrapper's analog path bandwidth,
+// converter linearity, and capture length? This example sweeps those
+// knobs around the paper's operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixsoc"
+)
+
+func run(mutate func(*mixsoc.WrapperExperiment)) *mixsoc.WrapperAccuracyResult {
+	e := mixsoc.PaperWrapperExperiment()
+	mutate(&e)
+	res, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	log.SetFlags(0)
+
+	base := run(func(*mixsoc.WrapperExperiment) {})
+	fmt.Println("reference (the paper's Figure 5 operating point):")
+	fmt.Printf("  true fc %.0f kHz, direct %.2f kHz, wrapped %.2f kHz, error %.2f%%\n\n",
+		base.TrueFc/1e3, base.DirectFc/1e3, base.WrappedFc/1e3, base.ErrorPercent)
+
+	fmt.Println("sweep 1: wrapper analog path bandwidth (DAC settling + mux + S/H)")
+	fmt.Printf("  %10s  %12s  %8s\n", "bandwidth", "wrapped fc", "error")
+	for _, bw := range []float64{150e3, 200e3, 240e3, 300e3, 400e3, 600e3} {
+		res := run(func(e *mixsoc.WrapperExperiment) { e.Wrapper.PathBandwidth = bw })
+		fmt.Printf("  %7.0f kHz  %9.2f kHz  %7.2f%%\n", bw/1e3, res.WrappedFc/1e3, res.ErrorPercent)
+	}
+	fmt.Println("  -> the error is dominated by path bandwidth; a 2.5x-fs path")
+	fmt.Println("     keeps the fc test under 1% while ~4x-fc gives the paper's ~5%")
+
+	fmt.Println("\nsweep 2: converter INL (both ADC stages and DAC, in LSB)")
+	fmt.Printf("  %6s  %12s  %8s\n", "INL", "wrapped fc", "error")
+	for _, inl := range []float64{0, 0.3, 0.6, 1.0, 1.5} {
+		res := run(func(e *mixsoc.WrapperExperiment) {
+			e.Wrapper.ADCINL = inl
+			e.Wrapper.DACINL = inl
+		})
+		fmt.Printf("  %6.1f  %9.2f kHz  %7.2f%%\n", inl, res.WrappedFc/1e3, res.ErrorPercent)
+	}
+	fmt.Println("  -> smooth INL mostly cancels out of gain ratios; linearity is")
+	fmt.Println("     not the limiting factor for a ratio-based fc test")
+
+	fmt.Println("\nsweep 3: capture length (test time vs accuracy)")
+	fmt.Printf("  %8s  %10s  %12s  %8s\n", "samples", "cycles", "wrapped fc", "error")
+	for _, n := range []int{569, 1138, 2275, 4551, 9102} {
+		res := run(func(e *mixsoc.WrapperExperiment) { e.Samples = n })
+		fmt.Printf("  %8d  %10d  %9.2f kHz  %7.2f%%\n", n, res.TestCycles, res.WrappedFc/1e3, res.ErrorPercent)
+	}
+	fmt.Println("  -> beyond ~2k samples the error is systematic, not noise:")
+	fmt.Println("     spending more TAM cycles cannot buy it back, which is why")
+	fmt.Println("     the paper calibrates the wrapper rather than lengthening tests")
+
+	fmt.Println("\nsweep 4: core under test (cut-off position vs stimulus tones)")
+	fmt.Printf("  %10s  %12s  %8s\n", "true fc", "wrapped fc", "error")
+	for _, fc := range []float64{30e3, 45e3, 60e3, 90e3, 120e3} {
+		res := run(func(e *mixsoc.WrapperExperiment) { e.FilterCutoff = fc })
+		fmt.Printf("  %7.0f kHz  %9.2f kHz  %7.2f%%\n", fc/1e3, res.WrappedFc/1e3, res.ErrorPercent)
+	}
+	fmt.Println("  -> cores with cut-offs near the top stimulus tone suffer most")
+	fmt.Println("     from the wrapper's own roll-off; pick tones accordingly")
+}

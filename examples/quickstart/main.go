@@ -1,0 +1,63 @@
+// Quickstart: plan the test of the paper's p93791m mixed-signal SOC.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// It loads the embedded benchmark (the ITC'02 p93791 digital SOC plus
+// five analog cores from a commercial baseband chip), runs the
+// Cost_Optimizer heuristic at TAM width 32 with balanced cost weights,
+// and prints the chosen wrapper-sharing configuration and schedule
+// summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixsoc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's experimental SOC: 32 digital cores + analog cores A-E.
+	design := mixsoc.P93791M()
+	fmt.Printf("design %s: %d digital cores, %d analog cores\n",
+		design.Name, len(design.Digital.Cores()), len(design.Analog))
+
+	// Plan at TAM width 32 with equal weight on test time and area.
+	res, err := mixsoc.Plan(design, 32, mixsoc.EqualWeights)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := design.AnalogNames()
+	fmt.Printf("\nbest wrapper sharing:  %s\n", res.Best.Label(names))
+	fmt.Printf("test time:             %d cycles (%.1f%% of worst case)\n",
+		res.Best.TestTime, res.Best.CT)
+	fmt.Printf("area overhead cost:    %.1f (no sharing = 100)\n", res.Best.CA)
+	fmt.Printf("total cost:            %.2f\n", res.Best.Cost)
+	fmt.Printf("TAM evaluations:       %d of %d candidates (%.1f%% saved by the heuristic)\n",
+		res.NEval, res.Candidates, res.ReductionPercent())
+
+	// Materialize and sanity-check the schedule for the winning plan.
+	schedule, err := mixsoc.ScheduleFor(design, res.Best.Partition, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := schedule.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule: %d tests placed, makespan %d cycles, %.1f%% TAM utilization\n",
+		len(schedule.Placements), schedule.Makespan, 100*schedule.Utilization())
+
+	// How the shared analog wrappers serialize their cores' tests:
+	for group, spans := range schedule.GroupSpans() {
+		fmt.Printf("  %s busy intervals:", group)
+		for _, s := range spans {
+			fmt.Printf(" [%d..%d)", s[0], s[1])
+		}
+		fmt.Println()
+	}
+}

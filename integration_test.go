@@ -1,0 +1,106 @@
+package mixsoc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomDesignsEndToEnd is the facade-level robustness property:
+// any structurally valid design the generator produces must plan
+// without error, the heuristic must never beat the exhaustive optimum,
+// and the winning configuration must schedule into a validated,
+// group-serialized schedule.
+func TestRandomDesignsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweeps are slow")
+	}
+	f := func(seed uint32) bool {
+		d := randomDesign(seed)
+		if err := d.Validate(); err != nil {
+			t.Logf("seed %d: generator produced invalid design: %v", seed, err)
+			return false
+		}
+		width := 12 + int(seed%3)*8
+		h, err := Plan(d, width, EqualWeights)
+		if err != nil {
+			t.Logf("seed %d: plan: %v", seed, err)
+			return false
+		}
+		ex, err := PlanExhaustive(d, width, EqualWeights)
+		if err != nil {
+			t.Logf("seed %d: exhaustive: %v", seed, err)
+			return false
+		}
+		if h.Best.Cost < ex.Best.Cost-1e-9 {
+			t.Logf("seed %d: heuristic %v beat exhaustive %v", seed, h.Best.Cost, ex.Best.Cost)
+			return false
+		}
+		s, err := ScheduleFor(d, h.Best.Partition, width)
+		if err != nil {
+			t.Logf("seed %d: schedule: %v", seed, err)
+			return false
+		}
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: invalid schedule: %v", seed, err)
+			return false
+		}
+		for _, spans := range s.GroupSpans() {
+			for i := 1; i < len(spans); i++ {
+				if spans[i][0] < spans[i-1][1] {
+					t.Logf("seed %d: group overlap", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDesign builds a small but varied mixed-signal SOC from a seed
+// using a splitmix-style generator (deterministic per seed).
+func randomDesign(seed uint32) *Design {
+	state := uint64(seed)*2654435769 + 1
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+
+	soc := &SOC{Name: fmt.Sprintf("rand%d", seed)}
+	nDigital := 2 + next(5)
+	for i := 1; i <= nDigital; i++ {
+		m := &Module{
+			ID: i, Name: fmt.Sprintf("d%d", i), Level: 1,
+			Inputs: 2 + next(30), Outputs: 2 + next(30), Bidirs: next(8),
+		}
+		for c := 0; c < next(6); c++ {
+			m.Scan = append(m.Scan, 10+next(200))
+		}
+		m.Tests = []ModuleTest{{ID: 1, Patterns: 20 + next(400), ScanUse: len(m.Scan) > 0, TamUse: true}}
+		soc.Modules = append(soc.Modules, m)
+	}
+
+	nAnalog := 2 + next(3)
+	var cores []*AnalogCore
+	for i := 0; i < nAnalog; i++ {
+		c := &AnalogCore{Name: string(rune('P' + i)), Kind: "random"}
+		for tn := 0; tn <= next(3); tn++ {
+			c.Tests = append(c.Tests, AnalogTest{
+				Name:       fmt.Sprintf("t%d", tn),
+				FinLow:     Hertz(1+next(100)) * KHz,
+				FinHigh:    Hertz(101+next(400)) * KHz,
+				Fsample:    Hertz(2+next(20)) * MHz,
+				Cycles:     int64(500 + next(60000)),
+				TAMWidth:   1 + next(4),
+				Resolution: 8,
+			})
+		}
+		cores = append(cores, c)
+	}
+	return &Design{Name: soc.Name + "-m", Digital: soc, Analog: cores}
+}

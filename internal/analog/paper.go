@@ -1,0 +1,69 @@
+package analog
+
+// PaperCores returns the five analog cores of the paper's p93791m SOC
+// (Table 2), taken from a commercial baseband cellular phone chip:
+//
+//	A, B — a pair of baseband I-Q transmit paths (500 kHz bandwidth)
+//	C    — an audio CODEC path (50 kHz bandwidth)
+//	D    — a baseband down-conversion path
+//	E    — a general-purpose amplifier
+//
+// Test names follow the paper: Gpb (pass-band gain), fc (cut-off
+// frequency), A1MHz/A2MHz (attenuation), IIP3 (third-order input
+// intercept), Voffset (DC offset), phimis (phase mismatch), THD (total
+// harmonic distortion), G (gain), DR (dynamic range), SR (slew rate).
+//
+// Resolutions are not printed in Table 2; the defaults here follow the
+// paper's implementation narrative: 8 bits everywhere (the implemented
+// wrapper is an 8-bit design, demonstrated on core A), except the audio
+// CODEC's THD test which needs a quieter converter and is assigned
+// 12 bits. This is the one calibrated assumption behind the absolute
+// C_A values; see EXPERIMENTS.md.
+func PaperCores() []*Core {
+	iqTests := []Test{
+		{Name: "fc", FinLow: 50 * KHz, FinHigh: 50 * KHz, Fsample: 1.5 * MHz, Cycles: 50000, TAMWidth: 1, Resolution: 8},
+		{Name: "Gpb", FinLow: 45 * KHz, FinHigh: 55 * KHz, Fsample: 1.5 * MHz, Cycles: 13653, TAMWidth: 4, Resolution: 8},
+		{Name: "A1MHz+A2MHz", FinLow: 1 * MHz, FinHigh: 2 * MHz, Fsample: 8 * MHz, Cycles: 12643, TAMWidth: 2, Resolution: 8},
+		{Name: "IIP3", FinLow: 50 * KHz, FinHigh: 250 * KHz, Fsample: 8 * MHz, Cycles: 26973, TAMWidth: 2, Resolution: 8},
+		{Name: "Voffset", FinLow: 0, FinHigh: 0, Fsample: 10 * KHz, Cycles: 700, TAMWidth: 1, Resolution: 8},
+		{Name: "phimis", FinLow: 200 * KHz, FinHigh: 400 * KHz, Fsample: 15 * MHz, Cycles: 32000, TAMWidth: 4, Resolution: 8},
+	}
+
+	a := &Core{Name: "A", Kind: "I-Q transmit", Tests: append([]Test(nil), iqTests...)}
+	b := &Core{Name: "B", Kind: "I-Q transmit", Tests: append([]Test(nil), iqTests...)}
+
+	c := &Core{Name: "C", Kind: "CODEC audio", Tests: []Test{
+		{Name: "Gpb", FinLow: 20 * KHz, FinHigh: 20 * KHz, Fsample: 640 * KHz, Cycles: 80000, TAMWidth: 1, Resolution: 8},
+		{Name: "fc", FinLow: 45 * KHz, FinHigh: 55 * KHz, Fsample: 1.5 * MHz, Cycles: 136533, TAMWidth: 1, Resolution: 8},
+		{Name: "THD", FinLow: 2 * KHz, FinHigh: 31 * KHz, Fsample: 2.46 * MHz, Cycles: 83252, TAMWidth: 1, Resolution: 12},
+	}}
+
+	d := &Core{Name: "D", Kind: "baseband down converter", Tests: []Test{
+		{Name: "IIP3", FinLow: 3.25 * MHz, FinHigh: 9.75 * MHz, Fsample: 78 * MHz, Cycles: 15754, TAMWidth: 10, Resolution: 8},
+		{Name: "G", FinLow: 26 * MHz, FinHigh: 26 * MHz, Fsample: 26 * MHz, Cycles: 9228, TAMWidth: 4, Resolution: 8},
+		{Name: "DR", FinLow: 26 * MHz, FinHigh: 26 * MHz, Fsample: 26 * MHz, Cycles: 31508, TAMWidth: 4, Resolution: 8},
+	}}
+
+	e := &Core{Name: "E", Kind: "general purpose amplifier", Tests: []Test{
+		{Name: "SR", FinLow: 69 * MHz, FinHigh: 69 * MHz, Fsample: 69 * MHz, Cycles: 5400, TAMWidth: 5, Resolution: 8},
+		{Name: "G", FinLow: 8 * MHz, FinHigh: 8 * MHz, Fsample: 8 * MHz, Cycles: 2500, TAMWidth: 1, Resolution: 8},
+	}}
+
+	return []*Core{a, b, c, d, e}
+}
+
+// Paper test-time facts derivable from Table 2, used by tests and
+// documented in DESIGN.md §5.
+const (
+	// PaperCyclesIQ is the per-core test time of cores A and B.
+	PaperCyclesIQ int64 = 135969
+	// PaperCyclesCODEC is core C's test time.
+	PaperCyclesCODEC int64 = 299785
+	// PaperCyclesDown is core D's test time.
+	PaperCyclesDown int64 = 56490
+	// PaperCyclesAmp is core E's test time.
+	PaperCyclesAmp int64 = 7900
+	// PaperCyclesTotal is the sum over all five cores, the all-share
+	// serialization bound that normalizes Table 1.
+	PaperCyclesTotal int64 = 2*PaperCyclesIQ + PaperCyclesCODEC + PaperCyclesDown + PaperCyclesAmp
+)

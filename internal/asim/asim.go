@@ -1,0 +1,237 @@
+// Package asim provides small behavioural models of analog signal paths:
+// multi-tone sources, Butterworth low-pass filters (biquad cascades via
+// the bilinear transform), and amplifier nonidealities (gain, offset,
+// slew-rate limiting, cubic nonlinearity, clipping).
+//
+// The paper demonstrates its analog test wrapper with HSPICE
+// transistor-level simulations of a low-pass core (Section 5); this
+// package is the behavioural substitute documented in DESIGN.md §2: it
+// exercises the same signal path — stimulus, filter, response — with
+// controlled, deterministic nonidealities.
+package asim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tone is one sinusoidal component of a stimulus.
+type Tone struct {
+	Freq  float64 // Hz
+	Amp   float64 // peak amplitude
+	Phase float64 // radians
+}
+
+// MultiTone synthesizes n samples of a sum of tones at sample rate fs.
+func MultiTone(tones []Tone, fs float64, n int) ([]float64, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("asim: sample rate %v <= 0", fs)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("asim: sample count %d <= 0", n)
+	}
+	out := make([]float64, n)
+	for _, t := range tones {
+		if t.Freq < 0 {
+			return nil, fmt.Errorf("asim: negative tone frequency %v", t.Freq)
+		}
+		w := 2 * math.Pi * t.Freq / fs
+		for i := range out {
+			out[i] += t.Amp * math.Cos(w*float64(i)+t.Phase)
+		}
+	}
+	return out, nil
+}
+
+// Biquad is a second-order IIR section in direct form II transposed.
+// The zero value is an identity filter only if b0 is set to 1; use the
+// designers in this package rather than filling coefficients by hand.
+type Biquad struct {
+	B0, B1, B2 float64 // numerator
+	A1, A2     float64 // denominator (a0 normalized to 1)
+	z1, z2     float64 // state
+}
+
+// Process filters one sample.
+func (q *Biquad) Process(x float64) float64 {
+	y := q.B0*x + q.z1
+	q.z1 = q.B1*x - q.A1*y + q.z2
+	q.z2 = q.B2*x - q.A2*y
+	return y
+}
+
+// Reset clears the filter state.
+func (q *Biquad) Reset() { q.z1, q.z2 = 0, 0 }
+
+// PrimeDC sets the section state to its steady state for a constant
+// input x, so that processing a stream that starts at x produces no
+// artificial start-up transient.
+func (q *Biquad) PrimeDC(x float64) float64 {
+	g := (q.B0 + q.B1 + q.B2) / (1 + q.A1 + q.A2)
+	y := g * x
+	q.z1 = y - q.B0*x
+	q.z2 = q.B2*x - q.A2*y
+	return y
+}
+
+// Filter is a cascade of biquad sections (an odd-order design embeds its
+// first-order section as a biquad with B2 = A2 = 0).
+type Filter struct {
+	Sections []Biquad
+}
+
+// Process filters one sample through the cascade.
+func (f *Filter) Process(x float64) float64 {
+	for i := range f.Sections {
+		x = f.Sections[i].Process(x)
+	}
+	return x
+}
+
+// ProcessAll filters a whole signal (state is reset first).
+func (f *Filter) ProcessAll(x []float64) []float64 {
+	f.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.Process(v)
+	}
+	return out
+}
+
+// Reset clears all section states.
+func (f *Filter) Reset() {
+	for i := range f.Sections {
+		f.Sections[i].Reset()
+	}
+}
+
+// PrimeDC sets the cascade to its steady state for a constant input x.
+func (f *Filter) PrimeDC(x float64) {
+	for i := range f.Sections {
+		x = f.Sections[i].PrimeDC(x)
+	}
+}
+
+// ButterworthLowpass designs an order-n Butterworth low-pass filter with
+// -3 dB cutoff fc at sample rate fs, using the matched analog prototype
+// and the bilinear transform with frequency prewarping.
+func ButterworthLowpass(order int, fc, fs float64) (*Filter, error) {
+	if order < 1 || order > 12 {
+		return nil, fmt.Errorf("asim: butterworth order %d out of [1,12]", order)
+	}
+	if fc <= 0 || fs <= 0 || fc >= fs/2 {
+		return nil, fmt.Errorf("asim: cutoff %v must be in (0, fs/2=%v)", fc, fs/2)
+	}
+	// Prewarped analog cutoff.
+	k := 2 * fs
+	wc := k * math.Tan(math.Pi*fc/fs)
+
+	f := &Filter{}
+	// Conjugate pole pairs of the analog prototype.
+	for i := 0; i < order/2; i++ {
+		theta := math.Pi * float64(2*i+1) / float64(2*order)
+		// Analog section: wc^2 / (s^2 + 2 sin(theta) wc s + wc^2).
+		a1 := 2 * math.Sin(theta) * wc
+		a2 := wc * wc
+		// Bilinear transform with s = k (1-z^-1)/(1+z^-1).
+		d0 := k*k + a1*k + a2
+		f.Sections = append(f.Sections, Biquad{
+			B0: a2 / d0,
+			B1: 2 * a2 / d0,
+			B2: a2 / d0,
+			A1: (2*a2 - 2*k*k) / d0,
+			A2: (k*k - a1*k + a2) / d0,
+		})
+	}
+	if order%2 == 1 {
+		// First-order section: wc / (s + wc).
+		d0 := k + wc
+		f.Sections = append(f.Sections, Biquad{
+			B0: wc / d0,
+			B1: wc / d0,
+			A1: (wc - k) / d0,
+		})
+	}
+	return f, nil
+}
+
+// Amplifier is a behavioural amplifier stage with the nonidealities that
+// the Table 2 tests probe: finite gain, DC offset, third-order
+// nonlinearity (IIP3), supply clipping, and slew-rate limiting (SR).
+// The zero value is a unity-gain ideal buffer once Gain is set to 1.
+type Amplifier struct {
+	Gain      float64 // linear gain
+	Offset    float64 // output-referred DC offset, volts
+	HD3       float64 // cubic coefficient: out += HD3·in³
+	ClipLevel float64 // symmetric clipping; 0 disables
+	SlewRate  float64 // volts/second; 0 disables
+
+	prev    float64
+	started bool
+}
+
+// Process amplifies one sample taken at sample rate fs.
+func (a *Amplifier) Process(x, fs float64) float64 {
+	y := a.Gain*x + a.HD3*x*x*x + a.Offset
+	if a.ClipLevel > 0 {
+		if y > a.ClipLevel {
+			y = a.ClipLevel
+		} else if y < -a.ClipLevel {
+			y = -a.ClipLevel
+		}
+	}
+	if a.SlewRate > 0 && fs > 0 {
+		maxStep := a.SlewRate / fs
+		if a.started {
+			if y > a.prev+maxStep {
+				y = a.prev + maxStep
+			} else if y < a.prev-maxStep {
+				y = a.prev - maxStep
+			}
+		}
+	}
+	a.prev = y
+	a.started = true
+	return y
+}
+
+// ProcessAll amplifies a whole signal (state is reset first).
+func (a *Amplifier) ProcessAll(x []float64, fs float64) []float64 {
+	a.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = a.Process(v, fs)
+	}
+	return out
+}
+
+// Reset clears the slew-limiter state.
+func (a *Amplifier) Reset() { a.prev, a.started = 0, false }
+
+// Noise is a deterministic white-noise source (xorshift64), for adding
+// controlled converter/reference noise in simulations without pulling in
+// global random state.
+type Noise struct {
+	state uint64
+	Amp   float64 // peak amplitude of the uniform noise
+}
+
+// NewNoise returns a noise source with the given seed and amplitude.
+func NewNoise(seed uint64, amp float64) *Noise {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Noise{state: seed, Amp: amp}
+}
+
+// Next returns the next noise sample, uniform in [-Amp, Amp].
+func (n *Noise) Next() float64 {
+	x := n.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	n.state = x
+	// Map to [-1, 1).
+	u := float64(x>>11) / float64(1<<53)
+	return n.Amp * (2*u - 1)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/partition"
+	"mixsoc/internal/tam"
+)
+
+// Evaluator runs TAM optimizations for sharing configurations of one
+// design at one TAM width, caching results by configuration. It counts
+// the number of distinct TAM optimizer runs, the NEval metric of
+// Table 4.
+type Evaluator struct {
+	Design *Design
+	Width  int
+
+	cache map[string]*tam.Schedule
+	runs  int
+}
+
+// NewEvaluator returns an evaluator for the design at the given width.
+func NewEvaluator(d *Design, width int) *Evaluator {
+	return &Evaluator{Design: d, Width: width, cache: map[string]*tam.Schedule{}}
+}
+
+// Runs returns the number of TAM optimizer invocations so far (cache
+// misses only).
+func (e *Evaluator) Runs() int { return e.runs }
+
+// Schedule returns the rectangle-packed schedule for configuration p,
+// computing it on first use.
+func (e *Evaluator) Schedule(p partition.Partition) (*tam.Schedule, error) {
+	key := p.Key(nil)
+	if s, ok := e.cache[key]; ok {
+		return s, nil
+	}
+	jobs, err := BuildJobs(e.Design, p, e.Width)
+	if err != nil {
+		return nil, err
+	}
+	s, err := tam.Optimize(jobs, e.Width)
+	if err != nil {
+		return nil, err
+	}
+	e.runs++
+	e.cache[key] = s
+	return s, nil
+}
+
+// TestTime returns the SOC test time for configuration p in cycles.
+func (e *Evaluator) TestTime(p partition.Partition) (int64, error) {
+	s, err := e.Schedule(p)
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}
+
+// Evaluation is the full costing of one sharing configuration.
+type Evaluation struct {
+	Partition partition.Partition
+	TestTime  int64   // SOC test time, cycles
+	CT        float64 // test time normalized to the all-share case (≈ ≤ 100)
+	CA        float64 // area-overhead cost of equation (1)
+	Cost      float64 // wT·CT + wA·CA
+	Prelim    float64 // preliminary cost wT·LTBnorm + wA·CA (equation 3)
+}
+
+// Label renders the configuration's shared groups as the paper does.
+func (ev *Evaluation) Label(names []string) string {
+	return ev.Partition.FormatShared(names)
+}
+
+// Weights are the cost weighting factors of Problem P_msoc.
+type Weights struct {
+	Time float64 // wT
+	Area float64 // wA
+}
+
+// Validate enforces wT + wA = 1 with both non-negative.
+func (w Weights) Validate() error {
+	if w.Time < 0 || w.Area < 0 {
+		return fmt.Errorf("core: negative cost weight %+v", w)
+	}
+	if d := w.Time + w.Area - 1; d > 1e-9 || d < -1e-9 {
+		return fmt.Errorf("core: cost weights must sum to 1, got %v", w.Time+w.Area)
+	}
+	return nil
+}
+
+// EqualWeights is the balanced setting wT = wA = 0.5.
+var EqualWeights = Weights{Time: 0.5, Area: 0.5}
+
+// costParts computes everything about configuration p except the test
+// time, which requires a TAM run.
+func costParts(d *Design, cm analog.CostModel, p partition.Partition) (ca, ltbNorm float64, err error) {
+	ca, err = cm.AreaOverheadPercent(d.Analog, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	ltbNorm, err = analog.NormalizedLTB(d.Analog, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ca, ltbNorm, nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/partition"
+)
+
+// Planner solves Problem P_msoc (Section 4): pick the analog
+// wrapper-sharing configuration, wrapper designs and TAM schedule that
+// minimize C = wT·CT + wA·CA at a given SOC-level TAM width.
+type Planner struct {
+	Design  *Design
+	Width   int     // SOC-level TAM width W
+	Weights Weights // wT, wA
+
+	// CostModel prices analog wrapper sharing; zero value is replaced by
+	// analog.DefaultCostModel.
+	CostModel analog.CostModel
+	// Policy filters candidate partitions; nil means the paper's policy.
+	Policy partition.Policy
+	// Epsilon is the group-elimination threshold ε of Figure 3 (line 16):
+	// groups whose representative cost exceeds the best by more than ε
+	// are eliminated. The paper's experiments use 0.
+	Epsilon float64
+	// PrunePrelim, when true (the default via NewPlanner), also skips
+	// surviving-group members whose preliminary cost (equation 3) is
+	// already no better than the best full cost found. This is the
+	// paper's spirit — preliminary costs are available "for free" — and
+	// is what keeps NEval near 10 of 26; it is heuristic, exactly as the
+	// paper's results table shows (optimal "in all but one case").
+	PrunePrelim bool
+}
+
+// NewPlanner returns a planner with the defaults used by the paper's
+// experiments: equal weights, paper candidate policy, ε = 0, preliminary
+// pruning on.
+func NewPlanner(d *Design, width int, w Weights) *Planner {
+	return &Planner{
+		Design:      d,
+		Width:       width,
+		Weights:     w,
+		CostModel:   analog.DefaultCostModel(),
+		Policy:      partition.PaperPolicy,
+		Epsilon:     0,
+		PrunePrelim: true,
+	}
+}
+
+// Result is the outcome of a planning run.
+type Result struct {
+	Method     string // "exhaustive" or "cost-optimizer"
+	Best       Evaluation
+	NEval      int          // TAM optimizer runs (Table 4's NEval)
+	Candidates int          // candidate configurations considered
+	Infeasible int          // candidates rejected by the feasibility rule
+	AllShare   int64        // T(all-share), the CT normalization base
+	Evaluated  []Evaluation // every configuration that got a TAM run
+}
+
+// ReductionPercent is Table 4's ΔE: the percentage of TAM evaluations
+// saved relative to exhaustively evaluating every candidate.
+func (r *Result) ReductionPercent() float64 {
+	if r.Candidates == 0 {
+		return 0
+	}
+	return 100 * float64(r.Candidates-r.NEval) / float64(r.Candidates)
+}
+
+func (pl *Planner) defaults() (analog.CostModel, partition.Policy, error) {
+	if err := pl.Weights.Validate(); err != nil {
+		return analog.CostModel{}, nil, err
+	}
+	if pl.Design == nil || len(pl.Design.Analog) == 0 {
+		return analog.CostModel{}, nil, fmt.Errorf("core: planner needs a design with analog cores")
+	}
+	cm := pl.CostModel
+	if cm.Area == nil {
+		cm = analog.DefaultCostModel()
+	}
+	policy := pl.Policy
+	if policy == nil {
+		policy = partition.PaperPolicy
+	}
+	return cm, policy, nil
+}
+
+// evalAt completes an Evaluation for p given the all-share time.
+func (pl *Planner) evalAt(e *Evaluator, cm analog.CostModel, p partition.Partition, allShare int64) (Evaluation, error) {
+	ca, ltb, err := costParts(pl.Design, cm, p)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	t, err := e.TestTime(p)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ct := 100 * float64(t) / float64(allShare)
+	return Evaluation{
+		Partition: p,
+		TestTime:  t,
+		CT:        ct,
+		CA:        ca,
+		Cost:      pl.Weights.Time*ct + pl.Weights.Area*ca,
+		Prelim:    pl.Weights.Time*ltb + pl.Weights.Area*ca,
+	}, nil
+}
+
+// Exhaustive evaluates every candidate configuration with the TAM
+// optimizer and returns the cheapest. It is the paper's baseline: always
+// optimal with respect to the candidate set, at NEval = |candidates|.
+func (pl *Planner) Exhaustive() (*Result, error) {
+	cm, policy, err := pl.defaults()
+	if err != nil {
+		return nil, err
+	}
+	e := NewEvaluator(pl.Design, pl.Width)
+	cands := pl.Design.Candidates(policy)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: policy admits no candidate configurations")
+	}
+	allShare, err := e.TestTime(pl.Design.AllShare())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Method: "exhaustive", Candidates: len(cands), AllShare: allShare}
+	best := -1
+	for _, p := range cands {
+		if skip, err := infeasible(cm, pl.Design, p); err != nil {
+			return nil, err
+		} else if skip {
+			res.Infeasible++
+			continue
+		}
+		ev, err := pl.evalAt(e, cm, p, allShare)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated = append(res.Evaluated, ev)
+		if best < 0 || ev.Cost < res.Evaluated[best].Cost {
+			best = len(res.Evaluated) - 1
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: every candidate configuration is infeasible")
+	}
+	res.Best = res.Evaluated[best]
+	res.NEval = e.Runs()
+	return res, nil
+}
+
+// infeasible reports whether the cost model's feasibility rule rejects
+// the configuration; other errors are returned as-is.
+func infeasible(cm analog.CostModel, d *Design, p partition.Partition) (bool, error) {
+	err := cm.Feasibility(d.Analog, p)
+	switch {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, analog.ErrInfeasible):
+		return true, nil
+	}
+	return false, err
+}
+
+// group is one "degree of sharing" bucket of Figure 3 line 1:
+// configurations with the same number of analog wrappers, which for a
+// fixed core set means comparable area-overhead structure.
+type group struct {
+	wrappers int
+	members  []candidate
+}
+
+type candidate struct {
+	p      partition.Partition
+	ca     float64
+	ltb    float64
+	prelim float64
+}
+
+// CostOptimizer implements procedure Cost_Optimizer (Figure 3):
+//
+//  1. Bucket the candidates by degree of sharing (wrapper count).
+//  2. Compute preliminary costs Cprelim = wT·LTBnorm + wA·CA for every
+//     candidate — no TAM runs needed (equation 3).
+//  3. In each bucket, TAM-evaluate only the candidate with the smallest
+//     preliminary cost.
+//  4. Keep the bucket(s) within ε of the best representative cost;
+//     eliminate the rest.
+//  5. TAM-evaluate the remaining members of surviving buckets (skipping
+//     members whose preliminary cost cannot beat the incumbent when
+//     PrunePrelim is set) and return the overall cheapest.
+func (pl *Planner) CostOptimizer() (*Result, error) {
+	cm, policy, err := pl.defaults()
+	if err != nil {
+		return nil, err
+	}
+	e := NewEvaluator(pl.Design, pl.Width)
+	cands := pl.Design.Candidates(policy)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: policy admits no candidate configurations")
+	}
+
+	res := &Result{Method: "cost-optimizer", Candidates: len(cands)}
+
+	// Lines 1-6: bucket by degree of sharing; preliminary costs. The
+	// cost model's feasibility rule drops configurations here — the
+	// paper's "should not be considered".
+	byWrappers := map[int]*group{}
+	for _, p := range cands {
+		if skip, err := infeasible(cm, pl.Design, p); err != nil {
+			return nil, err
+		} else if skip {
+			res.Infeasible++
+			continue
+		}
+		ca, ltb, err := costParts(pl.Design, cm, p)
+		if err != nil {
+			return nil, err
+		}
+		c := candidate{p: p, ca: ca, ltb: ltb, prelim: pl.Weights.Time*ltb + pl.Weights.Area*ca}
+		g := byWrappers[p.Wrappers()]
+		if g == nil {
+			g = &group{wrappers: p.Wrappers()}
+			byWrappers[p.Wrappers()] = g
+		}
+		g.members = append(g.members, c)
+	}
+	groups := make([]*group, 0, len(byWrappers))
+	for _, g := range byWrappers {
+		// Deterministic member order: by preliminary cost, then label.
+		sort.Slice(g.members, func(a, b int) bool {
+			if g.members[a].prelim != g.members[b].prelim {
+				return g.members[a].prelim < g.members[b].prelim
+			}
+			return g.members[a].p.Key(nil) < g.members[b].p.Key(nil)
+		})
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].wrappers > groups[b].wrappers })
+
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: every candidate configuration is infeasible")
+	}
+
+	// The all-share time normalizes CT; the all-share configuration is
+	// the single member of the 1-wrapper bucket under the paper's policy,
+	// so this evaluation is reused below via the cache.
+	allShare, err := e.TestTime(pl.Design.AllShare())
+	if err != nil {
+		return nil, err
+	}
+	res.AllShare = allShare
+
+	// Lines 7-13: evaluate each bucket's most promising member.
+	type repEval struct {
+		g  *group
+		ev Evaluation
+	}
+	reps := make([]repEval, 0, len(groups))
+	bestRep := math.Inf(1)
+	for _, g := range groups {
+		ev, err := pl.evalAt(e, cm, g.members[0].p, allShare)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated = append(res.Evaluated, ev)
+		reps = append(reps, repEval{g: g, ev: ev})
+		if ev.Cost < bestRep {
+			bestRep = ev.Cost
+		}
+	}
+
+	// Track the incumbent best.
+	best := reps[0].ev
+	for _, r := range reps[1:] {
+		if r.ev.Cost < best.Cost {
+			best = r.ev
+		}
+	}
+
+	// Lines 14-18: eliminate buckets, then fully evaluate survivors.
+	for _, r := range reps {
+		if r.ev.Cost > bestRep+pl.Epsilon {
+			continue // bucket eliminated
+		}
+		for _, m := range r.g.members[1:] {
+			if pl.PrunePrelim && m.prelim >= best.Cost {
+				continue
+			}
+			ev, err := pl.evalAt(e, cm, m.p, allShare)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated = append(res.Evaluated, ev)
+			if ev.Cost < best.Cost {
+				best = ev
+			}
+		}
+	}
+
+	res.Best = best
+	res.NEval = e.Runs()
+	return res, nil
+}

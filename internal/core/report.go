@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders a planning result as a human-readable text report: the
+// decision, its cost breakdown, the runner-up configurations, and the
+// evaluation accounting. It is what cmd/msoc-plan prints and what a
+// test engineer would paste into a planning review.
+func (r *Result) Report(d *Design) string {
+	names := d.AnalogNames()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "test plan for %s (method: %s)\n", d.Name, r.Method)
+	fmt.Fprintf(&sb, "==============================================\n")
+	fmt.Fprintf(&sb, "wrapper sharing:   %s\n", r.Best.Label(names))
+	fmt.Fprintf(&sb, "analog wrappers:   %d for %d cores\n", r.Best.Partition.Wrappers(), len(d.Analog))
+	fmt.Fprintf(&sb, "SOC test time:     %d cycles\n", r.Best.TestTime)
+	fmt.Fprintf(&sb, "  normalized CT:   %.1f (all-share = 100, %d cycles)\n", r.Best.CT, r.AllShare)
+	fmt.Fprintf(&sb, "area overhead CA:  %.1f (no sharing = 100)\n", r.Best.CA)
+	fmt.Fprintf(&sb, "total cost:        %.2f\n", r.Best.Cost)
+	fmt.Fprintf(&sb, "TAM evaluations:   %d of %d candidates (%.1f%% saved)\n",
+		r.NEval, r.Candidates, r.ReductionPercent())
+
+	// Runner-up table: other evaluated configurations by cost.
+	evs := append([]Evaluation(nil), r.Evaluated...)
+	sort.Slice(evs, func(a, b int) bool { return evs[a].Cost < evs[b].Cost })
+	n := len(evs)
+	if n > 6 {
+		n = 6
+	}
+	fmt.Fprintf(&sb, "\nbest evaluated configurations:\n")
+	fmt.Fprintf(&sb, "  %-20s %8s %8s %8s\n", "sharing", "CT", "CA", "cost")
+	for _, ev := range evs[:n] {
+		marker := " "
+		if ev.Cost == r.Best.Cost && ev.Label(names) == r.Best.Label(names) {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, " %s%-20s %8.1f %8.1f %8.2f\n", marker, ev.Label(names), ev.CT, ev.CA, ev.Cost)
+	}
+
+	// Per-wrapper grouping details for the chosen plan.
+	fmt.Fprintf(&sb, "\nwrapper assignments:\n")
+	for gi, g := range r.Best.Partition {
+		var cores []string
+		var cycles int64
+		for _, ci := range g {
+			cores = append(cores, d.Analog[ci].Name)
+			cycles += d.Analog[ci].TotalCycles()
+		}
+		kind := "dedicated"
+		if len(g) > 1 {
+			kind = "shared (tests serialized)"
+		}
+		fmt.Fprintf(&sb, "  wrapper %d: %-12s %s, %d cycles of use\n",
+			gi, strings.Join(cores, "+"), kind, cycles)
+	}
+	return sb.String()
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReport(t *testing.T) {
+	d := paperDesign()
+	res, err := NewPlanner(d, 32, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(d)
+	for _, frag := range []string{
+		"test plan for p93791m",
+		"cost-optimizer",
+		"wrapper sharing:",
+		"TAM evaluations:",
+		"best evaluated configurations:",
+		"wrapper assignments:",
+	} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	// The best row is starred.
+	if !strings.Contains(rep, "*") {
+		t.Error("best configuration not marked")
+	}
+	// Shared wrappers are labeled as serialized.
+	if res.Best.Partition.Wrappers() < len(d.Analog) && !strings.Contains(rep, "serialized") {
+		t.Error("shared wrapper not labeled serialized")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"mixsoc/internal/partition"
+)
+
+// SweepPoint is one solved planning instance of a trade-off sweep.
+type SweepPoint struct {
+	Width   int
+	Weights Weights
+	Result  *Result
+}
+
+// Sweep solves the planning problem across TAM widths and weight
+// settings — the cost surface the paper's Table 4 explores. With
+// exhaustive set, every point is solved optimally; otherwise the
+// Cost_Optimizer heuristic runs. The configure hook (optional) adjusts
+// each planner before it runs, e.g. to change the cost model.
+func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configure func(*Planner)) ([]SweepPoint, error) {
+	if len(widths) == 0 || len(weights) == 0 {
+		return nil, fmt.Errorf("core: sweep needs at least one width and one weight setting")
+	}
+	var out []SweepPoint
+	for _, wt := range weights {
+		for _, w := range widths {
+			pl := NewPlanner(d, w, wt)
+			if configure != nil {
+				configure(pl)
+			}
+			var (
+				res *Result
+				err error
+			)
+			if exhaustive {
+				res, err = pl.Exhaustive()
+			} else {
+				res, err = pl.CostOptimizer()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep W=%d wT=%.2f: %w", w, wt.Time, err)
+			}
+			out = append(out, SweepPoint{Width: w, Weights: wt, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// WidthCurve returns the SOC test time of one fixed sharing
+// configuration across TAM widths: the staircase a designer inspects to
+// size the TAM. Times are non-increasing in W up to scheduling noise.
+func WidthCurve(d *Design, p partition.Partition, widths []int) ([]int64, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("core: width curve needs widths")
+	}
+	out := make([]int64, len(widths))
+	for i, w := range widths {
+		t, err := NewEvaluator(d, w).TestTime(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// BestOver returns the sweep point with the lowest best-configuration
+// cost, breaking ties toward narrower TAMs (cheaper wiring).
+func BestOver(points []SweepPoint) (SweepPoint, error) {
+	if len(points) == 0 {
+		return SweepPoint{}, fmt.Errorf("core: empty sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		c, bc := p.Result.Best.Cost, best.Result.Best.Cost
+		if c < bc || (c == bc && p.Width < best.Width) {
+			best = p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"mixsoc/internal/analog"
+)
+
+func TestSweep(t *testing.T) {
+	d := paperDesign()
+	pts, err := Sweep(d, []int{32, 48}, []Weights{EqualWeights}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Result.Best.Cost <= 0 {
+			t.Errorf("W=%d: cost %v", p.Width, p.Result.Best.Cost)
+		}
+	}
+	best, err := BestOver(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Width != 32 && best.Width != 48 {
+		t.Errorf("best width %d not in sweep", best.Width)
+	}
+
+	if _, err := Sweep(d, nil, []Weights{EqualWeights}, false, nil); err == nil {
+		t.Error("empty widths accepted")
+	}
+	if _, err := BestOver(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSweepConfigureHook(t *testing.T) {
+	d := paperDesign()
+	called := 0
+	_, err := Sweep(d, []int{32}, []Weights{EqualWeights}, false, func(pl *Planner) {
+		pl.CostModel = analog.PaperCostModel()
+		called++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Errorf("configure called %d times", called)
+	}
+}
+
+func TestWidthCurveMonotoneish(t *testing.T) {
+	d := paperDesign()
+	widths := []int{24, 32, 48, 64}
+	curve, err := WidthCurve(d, d.NoShare(), widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		// Allow small heuristic noise but demand the overall downward
+		// staircase of the paper's premise.
+		if float64(curve[i]) > 1.05*float64(curve[i-1]) {
+			t.Errorf("test time rose sharply from W=%d (%d) to W=%d (%d)",
+				widths[i-1], curve[i-1], widths[i], curve[i])
+		}
+	}
+	if curve[len(curve)-1] >= curve[0] {
+		t.Errorf("no improvement across the sweep: %v", curve)
+	}
+	if _, err := WidthCurve(d, d.NoShare(), nil); err == nil {
+		t.Error("empty widths accepted")
+	}
+}

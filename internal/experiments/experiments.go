@@ -1,0 +1,45 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on the reproduction's substrates. Each
+// experiment returns structured rows plus a text rendering, so the same
+// code backs the root-level benchmarks (bench_test.go), the msoc-tables
+// CLI, and EXPERIMENTS.md.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	Table 1  — area overhead C_A and analog test-time lower bound LTB
+//	           for all 26 sharing combinations
+//	Table 2  — analog core test requirements (input data)
+//	Table 3  — normalized SOC test time CT per combination, W = 32/48/64
+//	Table 4  — Cost_Optimizer vs exhaustive evaluation
+//	Figure 5 — direct vs wrapped cut-off frequency test of core A
+//	Section5 — converter component counts and wrapper area facts
+package experiments
+
+import (
+	"mixsoc/internal/analog"
+	"mixsoc/internal/core"
+	"mixsoc/internal/itc02"
+)
+
+// Design returns p93791m: the embedded p93791 digital SOC augmented with
+// the five analog cores of Table 2, the SOC all experiments run on.
+func Design() *core.Design {
+	return &core.Design{
+		Name:    "p93791m",
+		Digital: itc02.P93791(),
+		Analog:  analog.PaperCores(),
+	}
+}
+
+// PaperWidths are the TAM widths Table 4 sweeps.
+var PaperWidths = []int{32, 40, 48, 56, 64}
+
+// Table3Widths are the TAM widths Table 3 reports.
+var Table3Widths = []int{32, 48, 64}
+
+// PaperWeightSettings are the three (wT, wA) settings of Table 4.
+var PaperWeightSettings = []core.Weights{
+	{Time: 0.5, Area: 0.5},
+	{Time: 0.25, Area: 0.75},
+	{Time: 0.75, Area: 0.25},
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/partition"
+)
+
+// Table1Row is one sharing combination of Table 1.
+type Table1Row struct {
+	Wrappers int     // number of analog wrappers N_w
+	Label    string  // shared groups, e.g. "{A,B,E}{C,D}"
+	CA       float64 // area overhead cost, equation (1)
+	LTB      float64 // normalized analog test-time lower bound
+}
+
+// Table1 computes C_A and the normalized LTB for every candidate
+// combination, using the given cost model (zero-value Rule/Area fields
+// default as in analog.DefaultCostModel).
+func Table1(cm analog.CostModel) ([]Table1Row, error) {
+	if cm.Area == nil {
+		cm = analog.DefaultCostModel()
+	}
+	cores := analog.PaperCores()
+	combos := partition.Enumerate(len(cores), analog.Classes(cores), partition.PaperPolicy)
+	names := analog.Names(cores)
+
+	rows := make([]Table1Row, 0, len(combos))
+	for _, p := range combos {
+		ca, err := cm.AreaOverheadPercent(cores, p)
+		if err != nil {
+			return nil, err
+		}
+		ltb, err := analog.NormalizedLTB(cores, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Wrappers: p.Wrappers(),
+			Label:    p.FormatShared(names),
+			CA:       ca,
+			LTB:      ltb,
+		})
+	}
+	// Paper order: descending wrapper count, then descending C_A.
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Wrappers != rows[b].Wrappers {
+			return rows[a].Wrappers > rows[b].Wrappers
+		}
+		if rows[a].CA != rows[b].CA {
+			return rows[a].CA > rows[b].CA
+		}
+		return rows[a].Label < rows[b].Label
+	})
+	return rows, nil
+}
+
+// RenderTable1 formats the rows like the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: area overhead cost C_A and normalized test-time lower bound LTB\n")
+	sb.WriteString("for all wrapper-sharing combinations (cores A-E of Table 2)\n\n")
+	fmt.Fprintf(&sb, "%-3s  %-22s  %8s  %8s\n", "Nw", "shared combination", "C_A", "LTB")
+	prev := -1
+	for _, r := range rows {
+		nw := ""
+		if r.Wrappers != prev {
+			nw = fmt.Sprintf("%d", r.Wrappers)
+			prev = r.Wrappers
+		}
+		fmt.Fprintf(&sb, "%-3s  %-22s  %8.1f  %8.1f\n", nw, r.Label, r.CA, r.LTB)
+	}
+	return sb.String()
+}
+
+// RenderTable2 formats the analog core test requirements (the paper's
+// Table 2, which is input data for everything else).
+func RenderTable2() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: test requirements for the analog cores\n\n")
+	fmt.Fprintf(&sb, "%-6s %-14s %9s %9s %9s %10s %3s %4s\n",
+		"core", "test", "f_low", "f_high", "f_sample", "cycles", "W", "bits")
+	for _, c := range analog.PaperCores() {
+		fmt.Fprintf(&sb, "core %s: %s\n", c.Name, c.Kind)
+		for i := range c.Tests {
+			t := &c.Tests[i]
+			fmt.Fprintf(&sb, "%-6s %-14s %9s %9s %9s %10d %3d %4d\n",
+				"", t.Name, t.FinLow, t.FinHigh, t.Fsample, t.Cycles, t.TAMWidth, t.Resolution)
+		}
+	}
+	fmt.Fprintf(&sb, "\ntotal test time: %d cycles (A=B=%d, C=%d, D=%d, E=%d)\n",
+		analog.PaperCyclesTotal, analog.PaperCyclesIQ, analog.PaperCyclesCODEC,
+		analog.PaperCyclesDown, analog.PaperCyclesAmp)
+	return sb.String()
+}

@@ -1,0 +1,35 @@
+package itc02
+
+// D281 returns a small embedded benchmark in the spirit of the ITC'02
+// d-series circuits: eight digital cores with modest scan content. Like
+// P93791 it is synthesized (see DESIGN.md §2), calibrated to be roughly
+// two orders of magnitude smaller — handy for fast demos, tests and
+// examples where packing the big benchmark would be wasteful.
+func D281() *SOC {
+	s := &SOC{Name: "d281"}
+	s.AddModule(&Module{ID: 0, Name: "soc", Level: 0, Inputs: 32, Outputs: 32, Bidirs: 8})
+	for _, spec := range d281Specs {
+		s.AddModule(&Module{
+			ID:      spec.id,
+			Name:    spec.name,
+			Level:   1,
+			Inputs:  spec.in,
+			Outputs: spec.out,
+			Bidirs:  spec.bid,
+			Scan:    buildChains(spec.chains),
+			Tests:   []Test{{ID: 1, Patterns: spec.patterns, ScanUse: len(spec.chains) > 0, TamUse: true}},
+		})
+	}
+	return s
+}
+
+var d281Specs = []moduleSpec{
+	{1, "cpu", 36, 20, 8, []chainSpec{{8, 120}}, 120},
+	{2, "dma", 28, 16, 0, []chainSpec{{6, 90}}, 90},
+	{3, "mac", 24, 24, 0, []chainSpec{{4, 110}}, 105},
+	{4, "uart", 12, 10, 0, []chainSpec{{2, 80}}, 70},
+	{5, "timer", 10, 8, 0, []chainSpec{{2, 60}}, 64},
+	{6, "gpio", 18, 18, 4, nil, 220},
+	{7, "bridge", 26, 22, 0, []chainSpec{{3, 100}}, 85},
+	{8, "rom_bist", 8, 6, 0, nil, 500},
+}

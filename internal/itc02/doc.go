@@ -1,0 +1,53 @@
+// Package itc02 models ITC'02-style SOC test benchmarks.
+//
+// The ITC'02 SOC Test Benchmarks (Marinissen, Iyengar, Chakrabarty,
+// ITC 2002) describe a system-on-chip as a set of modules. Each module
+// has functional terminals (inputs, outputs, bidirectionals), internal
+// scan chains, and one or more tests characterized by a pattern count.
+// From these data a test wrapper and a test-access-mechanism (TAM)
+// schedule can be constructed; that is done by the sibling packages
+// wrapper and tam.
+//
+// The package provides:
+//
+//   - a data model (SOC, Module, Test) with validation and derived
+//     quantities such as total scan bits and test data volume,
+//   - a parser and writer for a line-oriented text format that follows
+//     the structure of the original .soc files (see Format below),
+//   - the embedded benchmark P93791, a 32-core digital SOC synthesized
+//     to match the published aggregate characteristics of the ITC'02
+//     p93791 circuit (the original files are not redistributable; see
+//     DESIGN.md for the calibration targets).
+//
+// # Format
+//
+// The format is line oriented. '#' starts a comment that runs to the end
+// of the line. Blank lines are ignored. A file contains a header followed
+// by one block per module:
+//
+//	SocName p93791
+//	TotalModules 33
+//
+//	Module 1
+//	  Name core_a
+//	  Level 1
+//	  Inputs 109
+//	  Outputs 32
+//	  Bidirs 72
+//	  ScanChains 46
+//	  ScanChainLengths 168 168 167 ...
+//	  TotalTests 1
+//	  Test 1
+//	    Patterns 409
+//	    ScanUse 1
+//	    TamUse 1
+//	  EndTest
+//	EndModule
+//
+// Module 0, when present, describes the SOC-level terminals and carries
+// no tests. ScanChains/ScanChainLengths may be omitted for combinational
+// modules. ScanUse and TamUse are retained for compatibility with the
+// original benchmark semantics: a test with ScanUse 0 does not load the
+// scan chains, and a test with TamUse 0 is applied through functional
+// access rather than the TAM.
+package itc02

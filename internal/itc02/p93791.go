@@ -1,0 +1,104 @@
+package itc02
+
+// This file holds the embedded digital benchmark used by the paper's
+// experiments. The original ITC'02 p93791 files are distributed from a
+// web site that no longer exists and are not redistributable, so the
+// module data below is synthesized to match the published aggregate
+// characteristics of p93791 (see DESIGN.md §2): 32 testable cores below
+// a SOC-level module, a few very large scan cores that dominate the
+// schedule, a mid-range body, a tail of small and combinational cores,
+// and a total test-data volume of ≈28M bit-cycles so that a
+// rectangle-packed schedule lands near 0.9M clock cycles at TAM width 32
+// and near 0.45M at width 64, mirroring the published staircase.
+//
+// All paper results reproduced on top of this SOC are normalized
+// (CT, cost), exactly as the paper reports them.
+
+// P93791 returns a fresh copy of the embedded digital SOC. Callers may
+// mutate the result freely.
+func P93791() *SOC {
+	s := &SOC{Name: "p93791"}
+	// SOC-level module: chip pins.
+	s.AddModule(&Module{ID: 0, Name: "soc", Level: 0, Inputs: 128, Outputs: 128, Bidirs: 64})
+	for _, spec := range p93791Specs {
+		m := &Module{
+			ID:      spec.id,
+			Name:    spec.name,
+			Level:   1,
+			Inputs:  spec.in,
+			Outputs: spec.out,
+			Bidirs:  spec.bid,
+			Scan:    buildChains(spec.chains),
+			Tests:   []Test{{ID: 1, Patterns: spec.patterns, ScanUse: len(spec.chains) > 0, TamUse: true}},
+		}
+		s.AddModule(m)
+	}
+	return s
+}
+
+// chainSpec describes count scan chains of a nominal length; buildChains
+// varies the lengths slightly and deterministically for realism.
+type chainSpec struct{ count, length int }
+
+type moduleSpec struct {
+	id           int
+	name         string
+	in, out, bid int
+	chains       []chainSpec
+	patterns     int
+}
+
+func buildChains(specs []chainSpec) []int {
+	var out []int
+	i := 0
+	for _, cs := range specs {
+		for k := 0; k < cs.count; k++ {
+			l := cs.length - i%7
+			if l < 1 {
+				l = 1
+			}
+			out = append(out, l)
+			i++
+		}
+	}
+	return out
+}
+
+var p93791Specs = []moduleSpec{
+	// Large scan cores.
+	{1, "core01", 109, 32, 72, []chainSpec{{46, 168}}, 409},
+	{2, "core02", 417, 324, 72, []chainSpec{{24, 510}, {22, 492}}, 218},
+	{3, "core03", 146, 68, 0, []chainSpec{{12, 392}, {12, 368}}, 260},
+	{4, "core04", 84, 60, 0, []chainSpec{{18, 420}}, 250},
+	{5, "core05", 36, 12, 16, []chainSpec{{30, 210}}, 252},
+	{6, "core06", 66, 33, 0, []chainSpec{{12, 500}}, 239},
+	{7, "core07", 132, 72, 0, []chainSpec{{16, 300}}, 264},
+	{8, "core08", 50, 30, 0, []chainSpec{{8, 520}}, 262},
+	{9, "core09", 80, 36, 8, []chainSpec{{14, 260}}, 268},
+	// Mid-range scan cores.
+	{10, "core10", 64, 36, 0, []chainSpec{{12, 250}}, 294},
+	{11, "core11", 48, 64, 0, []chainSpec{{10, 280}}, 297},
+	{12, "core12", 112, 48, 0, []chainSpec{{8, 300}}, 318},
+	{13, "core13", 40, 24, 8, []chainSpec{{9, 260}}, 295},
+	{14, "core14", 72, 28, 0, []chainSpec{{7, 290}}, 309},
+	{15, "core15", 28, 16, 0, []chainSpec{{8, 240}}, 308},
+	{16, "core16", 56, 32, 0, []chainSpec{{6, 270}}, 328},
+	{17, "core17", 44, 20, 0, []chainSpec{{5, 300}}, 324},
+	{18, "core18", 36, 18, 4, []chainSpec{{6, 220}}, 331},
+	{19, "core19", 60, 30, 0, []chainSpec{{4, 280}}, 340},
+	// Smaller scan cores.
+	{20, "core20", 32, 16, 0, []chainSpec{{4, 240}}, 353},
+	{21, "core21", 24, 12, 0, []chainSpec{{4, 200}}, 364},
+	{22, "core22", 40, 22, 0, []chainSpec{{3, 230}}, 384},
+	{23, "core23", 30, 14, 0, []chainSpec{{3, 210}}, 379},
+	{24, "core24", 26, 12, 0, []chainSpec{{2, 260}}, 403},
+	{25, "core25", 22, 10, 0, []chainSpec{{2, 230}}, 415},
+	// Combinational / IO-dominated cores.
+	{26, "core26", 214, 112, 0, nil, 840},
+	{27, "core27", 176, 80, 0, nil, 852},
+	{28, "core28", 142, 64, 0, nil, 845},
+	{29, "core29", 118, 52, 0, nil, 847},
+	{30, "core30", 96, 40, 0, nil, 833},
+	{31, "core31", 64, 30, 0, nil, 781},
+	{32, "core32", 40, 18, 0, nil, 750},
+}

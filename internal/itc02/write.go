@@ -1,0 +1,59 @@
+package itc02
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write renders the SOC in the package's text format. The output parses
+// back to an equal SOC (see TestRoundTrip).
+func Write(w io.Writer, s *SOC) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "SocName %s\n", s.Name)
+	fmt.Fprintf(bw, "TotalModules %d\n", len(s.Modules))
+	for _, m := range s.Modules {
+		fmt.Fprintf(bw, "\nModule %d\n", m.ID)
+		if m.Name != "" {
+			fmt.Fprintf(bw, "  Name %s\n", m.Name)
+		}
+		fmt.Fprintf(bw, "  Level %d\n", m.Level)
+		fmt.Fprintf(bw, "  Inputs %d\n", m.Inputs)
+		fmt.Fprintf(bw, "  Outputs %d\n", m.Outputs)
+		fmt.Fprintf(bw, "  Bidirs %d\n", m.Bidirs)
+		if len(m.Scan) > 0 {
+			fmt.Fprintf(bw, "  ScanChains %d\n", len(m.Scan))
+			fmt.Fprintf(bw, "  ScanChainLengths")
+			for _, l := range m.Scan {
+				fmt.Fprintf(bw, " %d", l)
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "  TotalTests %d\n", len(m.Tests))
+		for _, t := range m.Tests {
+			fmt.Fprintf(bw, "  Test %d\n", t.ID)
+			fmt.Fprintf(bw, "    Patterns %d\n", t.Patterns)
+			fmt.Fprintf(bw, "    ScanUse %d\n", boolInt(t.ScanUse))
+			fmt.Fprintf(bw, "    TamUse %d\n", boolInt(t.TamUse))
+			fmt.Fprintf(bw, "  EndTest\n")
+		}
+		fmt.Fprintf(bw, "EndModule\n")
+	}
+	return bw.Flush()
+}
+
+// Format renders the SOC to a string.
+func Format(s *SOC) string {
+	var sb strings.Builder
+	// strings.Builder never errors.
+	_ = Write(&sb, s)
+	return sb.String()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package tam
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV exports the schedule as CSV with one row per placement:
+// job, group, width, wire_lo, start, end. Rows are ordered by start
+// time, then wire, for stable diffs. The header row is always written.
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "job,group,width,wire_lo,start,end"); err != nil {
+		return err
+	}
+	rows := append([]Placement(nil), s.Placements...)
+	// Order: start, wire, ID.
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			a, b := &rows[i], &rows[j]
+			if b.Start < a.Start ||
+				(b.Start == a.Start && b.WireLo < a.WireLo) ||
+				(b.Start == a.Start && b.WireLo == a.WireLo && b.Job.ID < a.Job.ID) {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	for i := range rows {
+		p := &rows[i]
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d\n",
+			csvEscape(p.Job.ID), csvEscape(p.Job.Group), p.Width, p.WireLo, p.Start, p.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the schedule as a CSV string.
+func (s *Schedule) CSV() string {
+	var sb strings.Builder
+	// strings.Builder never errors.
+	_ = s.WriteCSV(&sb)
+	return sb.String()
+}
+
+// csvEscape quotes fields containing commas or quotes (job IDs may
+// contain slashes and test names).
+func csvEscape(f string) string {
+	if !strings.ContainsAny(f, ",\"\n") {
+		return f
+	}
+	return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+}

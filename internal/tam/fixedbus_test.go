@@ -1,0 +1,120 @@
+package tam
+
+import (
+	"testing"
+
+	"mixsoc/internal/wrapper"
+)
+
+func TestFixedBusBasics(t *testing.T) {
+	jobs := []*Job{
+		fixedJob("a", 2, 10), fixedJob("b", 2, 10),
+		fixedJob("c", 2, 10), fixedJob("d", 2, 10),
+	}
+	s, err := OptimizeFixedBus(jobs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four 2-wide buses run the four jobs in parallel.
+	if s.Makespan != 10 {
+		t.Errorf("makespan = %d, want 10", s.Makespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedBusErrors(t *testing.T) {
+	if _, err := OptimizeFixedBus([]*Job{fixedJob("a", 1, 10)}, 0, 2); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := OptimizeFixedBus([]*Job{fixedJob("a", 9, 10)}, 8, 2); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if _, err := OptimizeFixedBus([]*Job{{ID: "x"}}, 8, 2); err == nil {
+		t.Error("optionless job accepted")
+	}
+}
+
+func TestFixedBusGroupStaysTogether(t *testing.T) {
+	jobs := []*Job{
+		groupJob("g1", "w", 1, 10),
+		groupJob("g2", "w", 1, 10),
+		fixedJob("solo", 1, 5),
+	}
+	s, err := OptimizeFixedBus(jobs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The group runs serially on one bus: makespan at least 20.
+	if s.Makespan < 20 {
+		t.Errorf("makespan = %d, want >= 20", s.Makespan)
+	}
+}
+
+func TestFixedBusUsesStaircase(t *testing.T) {
+	// A flexible job on a wide bus uses the widest option that fits.
+	j := &Job{ID: "x", Options: []wrapper.Point{{Width: 1, Time: 100}, {Width: 4, Time: 30}}}
+	s, err := OptimizeFixedBus([]*Job{j}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 30 {
+		t.Errorf("makespan = %d, want 30 (4-wide option)", s.Makespan)
+	}
+}
+
+// TestFlexibleBeatsFixedBus reproduces the paper's architectural claim:
+// on the mixed digital/analog job profile, rectangle packing (flexible
+// width) beats any fixed-bus partition because narrow analog tests waste
+// wide buses.
+func TestFlexibleBeatsFixedBus(t *testing.T) {
+	// Digital staircases plus narrow fixed analog tests, like p93791m.
+	var jobs []*Job
+	for _, m := range digitalJobsModules(t, 32) {
+		jobs = append(jobs, m)
+	}
+	analogWidths := []int{1, 1, 2, 4, 10, 1, 1, 5}
+	analogTimes := []int64{50000, 80000, 26973, 32000, 15754, 136533, 83252, 5400}
+	for i := range analogWidths {
+		jobs = append(jobs, &Job{
+			ID:      "a" + string(rune('0'+i)),
+			Options: []wrapper.Point{{Width: analogWidths[i], Time: analogTimes[i]}},
+			Group:   "wrap" + string(rune('0'+i%3)),
+		})
+	}
+
+	flex, err := Optimize(jobs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := OptimizeFixedBus(jobs, 32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flexible %d vs fixed-bus %d cycles (%.1f%% saved), utilization %.1f%% vs %.1f%%",
+		flex.Makespan, fixed.Makespan,
+		100*float64(fixed.Makespan-flex.Makespan)/float64(fixed.Makespan),
+		100*flex.Utilization(), 100*fixed.Utilization())
+	if flex.Makespan > fixed.Makespan {
+		t.Errorf("flexible packing (%d) lost to fixed buses (%d)", flex.Makespan, fixed.Makespan)
+	}
+}
+
+func digitalJobsModules(t testing.TB, maxW int) []*Job {
+	t.Helper()
+	return digitalJobs(t, maxW)
+}
+
+func BenchmarkFixedBusP93791(b *testing.B) {
+	jobs := digitalJobs(b, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeFixedBus(jobs, 32, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

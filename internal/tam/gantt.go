@@ -1,0 +1,81 @@
+package tam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the schedule as an ASCII chart, one row per wire band,
+// time flowing left to right over the given number of columns. Each
+// placement is drawn with a letter assigned in end-time order; idle bin
+// space is '.'. It is meant for eyeballing schedules in examples and CLI
+// output, not for exact inspection.
+func (s *Schedule) Gantt(columns int) string {
+	if columns < 10 {
+		columns = 10
+	}
+	if s.Makespan == 0 || len(s.Placements) == 0 {
+		return "(empty schedule)\n"
+	}
+	grid := make([][]byte, s.Width)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", columns))
+	}
+	glyphs := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	legend := make([]string, 0, len(s.Placements))
+
+	placements := s.ByEnd()
+	for n := range placements {
+		p := &placements[n]
+		g := byte('#')
+		if n < len(glyphs) {
+			g = glyphs[n]
+		}
+		c0 := int(p.Start * int64(columns) / s.Makespan)
+		c1 := int(p.End * int64(columns) / s.Makespan)
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > columns {
+			c1 = columns
+		}
+		for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+			for c := c0; c < c1; c++ {
+				grid[wire][c] = g
+			}
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s[w%d %d..%d]", g, p.Job.ID, p.Width, p.Start, p.End))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TAM width %d, makespan %d cycles, utilization %.1f%%\n",
+		s.Width, s.Makespan, 100*s.Utilization())
+	for wire := s.Width - 1; wire >= 0; wire-- {
+		fmt.Fprintf(&sb, "%3d |%s|\n", wire, grid[wire])
+	}
+	sb.WriteString("legend: ")
+	sb.WriteString(strings.Join(legend, " "))
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// GroupSpans summarizes, per serialization group, the time intervals the
+// group's jobs occupy, sorted by start. Useful to inspect shared-wrapper
+// serialization.
+func (s *Schedule) GroupSpans() map[string][][2]int64 {
+	out := map[string][][2]int64{}
+	for i := range s.Placements {
+		p := &s.Placements[i]
+		if p.Job.Group == "" {
+			continue
+		}
+		out[p.Job.Group] = append(out[p.Job.Group], [2]int64{p.Start, p.End})
+	}
+	for g := range out {
+		spans := out[g]
+		sort.Slice(spans, func(a, b int) bool { return spans[a][0] < spans[b][0] })
+		out[g] = spans
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package tam
+
+import (
+	"fmt"
+	"sort"
+
+	"mixsoc/internal/wrapper"
+)
+
+// Option configures Optimize.
+type Option func(*config)
+
+type config struct {
+	improvePasses int
+	paretoOnly    bool
+}
+
+// WithImprovePasses bounds the post-packing improvement loop; 0 disables
+// it (used by the ablation benches). The default is one pass per job.
+func WithImprovePasses(n int) Option {
+	return func(c *config) { c.improvePasses = n }
+}
+
+// WithFullStaircase makes the packer consider every width from the
+// narrowest option up to the bin width, synthesizing flat staircase
+// steps, instead of only the strictly-improving Pareto points. It exists
+// to measure the value of Pareto pruning; it never improves the result.
+func WithFullStaircase() Option {
+	return func(c *config) { c.paretoOnly = false }
+}
+
+// Optimize packs the jobs into a TAM of the given width and returns a
+// validated schedule. The heuristic follows the rectangle-packing
+// formulation: jobs are considered longest-first, each is placed at the
+// position and width option minimizing its finish time (preferring
+// narrower widths on ties), and a bounded improvement loop then re-places
+// the jobs that define the makespan, letting them widen into idle wires.
+func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
+	cfg := config{improvePasses: len(jobs), paretoOnly: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("tam: bin width %d < 1", width)
+	}
+	if len(jobs) == 0 {
+		return &Schedule{Width: width}, nil
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if err := j.Validate(width); err != nil {
+			return nil, err
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("tam: duplicate job ID %s", j.ID)
+		}
+		seen[j.ID] = true
+	}
+
+	target := LowerBound(jobs, width)
+
+	// Serialization groups behave like one long chain: one useful weight
+	// for a job is its whole group's serial time rather than its own
+	// (often short) time, or the chain ends up in a tail behind a
+	// tightly packed bin.
+	groupTotal := map[string]int64{}
+	for _, j := range jobs {
+		if j.Group != "" {
+			groupTotal[j.Group] += j.minTime(width)
+		}
+	}
+	prefTime := func(j *Job) int64 {
+		return timeFor(j, preferredWidth(j, width, target))
+	}
+	chainWeight := func(j *Job) int64 {
+		if j.Group != "" {
+			return groupTotal[j.Group]
+		}
+		return prefTime(j)
+	}
+
+	// Greedy list scheduling is sensitive to the job order; pack with a
+	// few complementary orderings and keep the best schedule. All
+	// orderings share deterministic tie-breaking by ID.
+	orderings := []func(a, b *Job) (int64, int64){
+		func(a, b *Job) (int64, int64) { return chainWeight(a), chainWeight(b) },
+		func(a, b *Job) (int64, int64) { return prefTime(a), prefTime(b) },
+		func(a, b *Job) (int64, int64) { return a.volume(width), b.volume(width) },
+	}
+
+	var best *Schedule
+	for _, key := range orderings {
+		order := append([]*Job(nil), jobs...)
+		sort.Slice(order, func(a, b int) bool {
+			ka, kb := key(order[a], order[b])
+			if ka != kb {
+				return ka > kb
+			}
+			ta, tb := prefTime(order[a]), prefTime(order[b])
+			if ta != tb {
+				return ta > tb
+			}
+			return order[a].ID < order[b].ID
+		})
+		s, err := packList(order, width, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.Makespan < best.Makespan {
+			best = s
+		}
+	}
+
+	// Polish only the winning schedule: repack is quadratic in the job
+	// count, so running it per ordering buys little for its cost.
+	if cfg.improvePasses > 0 {
+		repack(best, width, cfg)
+		improve(best, width, cfg)
+	}
+
+	if err := best.Validate(); err != nil {
+		return nil, fmt.Errorf("tam: internal error: produced invalid schedule: %w", err)
+	}
+	return best, nil
+}
+
+// packList packs the jobs in the given order and runs the improvement
+// loops.
+func packList(order []*Job, width int, cfg config) (*Schedule, error) {
+	s := &Schedule{Width: width}
+	for _, j := range order {
+		p, ok := bestPlacement(j, s, width, cfg)
+		if !ok {
+			return nil, fmt.Errorf("tam: could not place job %s", j.ID)
+		}
+		s.Placements = append(s.Placements, p)
+		if p.End > s.Makespan {
+			s.Makespan = p.End
+		}
+	}
+	improve(s, width, cfg)
+	return s, nil
+}
+
+// repack removes and re-places every job once, latest-finishing first.
+// A re-placed job can always return to its old slot, so each step is
+// monotone: the makespan never increases.
+func repack(s *Schedule, width int, cfg config) {
+	sort.Slice(s.Placements, func(a, b int) bool {
+		if s.Placements[a].End != s.Placements[b].End {
+			return s.Placements[a].End > s.Placements[b].End
+		}
+		return s.Placements[a].Job.ID < s.Placements[b].Job.ID
+	})
+	for i := 0; i < len(s.Placements); i++ {
+		removed := s.Placements[i]
+		rest := append(s.Placements[:i:i], s.Placements[i+1:]...)
+		tmp := &Schedule{Width: width, Placements: rest}
+		p, ok := bestPlacement(removed.Job, tmp, width, cfg)
+		if ok && p.End <= removed.End {
+			s.Placements[i] = p
+		}
+	}
+	s.Makespan = 0
+	for i := range s.Placements {
+		if s.Placements[i].End > s.Makespan {
+			s.Makespan = s.Placements[i].End
+		}
+	}
+}
+
+// preferredWidth picks the narrowest option whose time meets the target
+// makespan estimate, or the widest usable option if none does.
+func preferredWidth(j *Job, binWidth int, target int64) int {
+	u := j.usable(binWidth)
+	for _, p := range u {
+		if p.Time <= target {
+			return p.Width
+		}
+	}
+	return u[len(u)-1].Width
+}
+
+// candidateWidths lists the width options the packer will try.
+func candidateWidths(j *Job, binWidth int, cfg config) []wrapper.Point {
+	u := j.usable(binWidth)
+	if cfg.paretoOnly {
+		return u
+	}
+	// Full staircase: every width from the narrowest option to binWidth.
+	var out []wrapper.Point
+	for w := u[0].Width; w <= binWidth; w++ {
+		out = append(out, wrapper.Point{Width: w, Time: timeFor(j, w)})
+	}
+	return out
+}
+
+// bestPlacement finds the placement of j minimizing (end, width, start,
+// wire) against the current schedule.
+func bestPlacement(j *Job, s *Schedule, binWidth int, cfg config) (Placement, bool) {
+	var best Placement
+	found := false
+	better := func(p Placement) bool {
+		if !found {
+			return true
+		}
+		if p.End != best.End {
+			return p.End < best.End
+		}
+		if p.Width != best.Width {
+			return p.Width < best.Width
+		}
+		if p.Start != best.Start {
+			return p.Start < best.Start
+		}
+		return p.WireLo < best.WireLo
+	}
+
+	for _, opt := range candidateWidths(j, binWidth, cfg) {
+		t, wireLo, ok := earliestFit(j, opt.Width, opt.Time, s, binWidth)
+		if !ok {
+			continue
+		}
+		p := Placement{Job: j, Width: opt.Width, Start: t, End: t + opt.Time, WireLo: wireLo}
+		if better(p) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// earliestFit returns the earliest start time (and lowest wire band) at
+// which a w×dur rectangle for job j fits: no wire conflicts and no time
+// overlap with j's serialization group.
+func earliestFit(j *Job, w int, dur int64, s *Schedule, binWidth int) (int64, int, bool) {
+	// Candidate starts: 0, ends of placed rectangles, and starts-dur
+	// (a window can also become feasible right before a rectangle begins).
+	cands := make([]int64, 0, 2*len(s.Placements)+1)
+	cands = append(cands, 0)
+	for i := range s.Placements {
+		p := &s.Placements[i]
+		cands = append(cands, p.End)
+		if t := p.Start - dur; t > 0 {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+
+	prev := int64(-1)
+	for _, t := range cands {
+		if t == prev {
+			continue
+		}
+		prev = t
+		if j.Group != "" && groupConflict(j, t, t+dur, s) {
+			continue
+		}
+		if lo, ok := lowestFreeBand(t, t+dur, w, s, binWidth); ok {
+			return t, lo, true
+		}
+	}
+	return 0, 0, false
+}
+
+func groupConflict(j *Job, start, end int64, s *Schedule) bool {
+	for i := range s.Placements {
+		p := &s.Placements[i]
+		if p.Job.Group == j.Group && p.Start < end && start < p.End {
+			return true
+		}
+	}
+	return false
+}
+
+// lowestFreeBand finds the lowest contiguous band of w wires free during
+// [start, end).
+func lowestFreeBand(start, end int64, w int, s *Schedule, binWidth int) (int, bool) {
+	// Collect wire intervals of rectangles overlapping the time window,
+	// sorted by WireLo, then sweep for a gap of size w.
+	type span struct{ lo, hi int }
+	var busy []span
+	for i := range s.Placements {
+		p := &s.Placements[i]
+		if p.Start < end && start < p.End {
+			busy = append(busy, span{p.WireLo, p.WireLo + p.Width})
+		}
+	}
+	sort.Slice(busy, func(a, b int) bool { return busy[a].lo < busy[b].lo })
+
+	cur := 0 // lowest candidate wire
+	for _, b := range busy {
+		if b.lo-cur >= w {
+			return cur, true
+		}
+		if b.hi > cur {
+			cur = b.hi
+		}
+	}
+	if binWidth-cur >= w {
+		return cur, true
+	}
+	return 0, false
+}
+
+// improve repeatedly re-places a job that defines the makespan, allowing
+// it to widen into idle wires or move, keeping any strict improvement.
+func improve(s *Schedule, binWidth int, cfg config) {
+	for pass := 0; pass < cfg.improvePasses; pass++ {
+		// The placement that ends last (stable choice on ties).
+		worst := -1
+		for i := range s.Placements {
+			if s.Placements[i].End == s.Makespan {
+				if worst < 0 || s.Placements[i].Job.ID < s.Placements[worst].Job.ID {
+					worst = i
+				}
+			}
+		}
+		if worst < 0 {
+			return
+		}
+		removed := s.Placements[worst]
+		s.Placements = append(s.Placements[:worst], s.Placements[worst+1:]...)
+
+		p, ok := bestPlacement(removed.Job, s, binWidth, cfg)
+		if !ok || p.End >= s.Makespan {
+			// No strict improvement: restore and stop.
+			s.Placements = append(s.Placements, removed)
+			return
+		}
+		s.Placements = append(s.Placements, p)
+		s.Makespan = 0
+		for i := range s.Placements {
+			if s.Placements[i].End > s.Makespan {
+				s.Makespan = s.Placements[i].End
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package tam schedules core tests on a flexible-width test access
+// mechanism by rectangle packing, the approach of Iyengar, Chakrabarty
+// and Marinissen ("On using rectangle packing for SOC wrapper/TAM
+// co-optimization", VTS 2002) that the paper uses for its TAM
+// optimization (Section 4, ref [6]).
+//
+// Each job (a digital core, or one analog test of a wrapped analog core)
+// is a rectangle: a choice of TAM width w from its staircase and a test
+// time T(w). The scheduler packs the rectangles into a bin of W wires ×
+// unbounded time, assigning each job a start time and a contiguous band
+// of wires, minimizing the SOC test time (makespan).
+//
+// Analog cores that share a test wrapper must be tested one at a time;
+// such jobs carry a serialization group, and the scheduler never overlaps
+// two jobs of the same group in time even when enough wires are free.
+// This is the constraint that couples the paper's wrapper-sharing choice
+// to the SOC test time.
+package tam
+
+import (
+	"fmt"
+	"sort"
+
+	"mixsoc/internal/wrapper"
+)
+
+// Job is one schedulable unit of test.
+type Job struct {
+	// ID uniquely identifies the job, e.g. "core06" or "A/fc".
+	ID string
+	// Options is the job's width staircase: candidate (width, time)
+	// pairs with strictly increasing width and strictly decreasing time.
+	// A job with a single option has a fixed shape (analog tests).
+	Options []wrapper.Point
+	// Group, when non-empty, names a serialization group: no two jobs
+	// with the same group may overlap in time (shared analog wrapper, or
+	// the several tests of one analog core).
+	Group string
+}
+
+// Validate checks the job's staircase invariants against the bin width.
+func (j *Job) Validate(binWidth int) error {
+	if j.ID == "" {
+		return fmt.Errorf("tam: job has no ID")
+	}
+	if len(j.Options) == 0 {
+		return fmt.Errorf("tam: job %s has no width options", j.ID)
+	}
+	for i, p := range j.Options {
+		if p.Width < 1 || p.Time <= 0 {
+			return fmt.Errorf("tam: job %s option %d: bad point (%d, %d)", j.ID, i, p.Width, p.Time)
+		}
+		if i > 0 && (p.Width <= j.Options[i-1].Width || p.Time >= j.Options[i-1].Time) {
+			return fmt.Errorf("tam: job %s: staircase not strictly improving at option %d", j.ID, i)
+		}
+	}
+	if j.Options[0].Width > binWidth {
+		return fmt.Errorf("tam: job %s needs at least %d wires, TAM has %d", j.ID, j.Options[0].Width, binWidth)
+	}
+	return nil
+}
+
+// usable returns the options that fit in the bin.
+func (j *Job) usable(binWidth int) []wrapper.Point {
+	var out []wrapper.Point
+	for _, p := range j.Options {
+		if p.Width <= binWidth {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// widest returns the widest usable option, falling back to the job's
+// narrowest option when even that exceeds the bin (callers that need a
+// feasible placement validate separately; bounds stay conservative).
+func (j *Job) widest(binWidth int) wrapper.Point {
+	u := j.usable(binWidth)
+	if len(u) == 0 {
+		return j.Options[0]
+	}
+	return u[len(u)-1]
+}
+
+// minTime is the job's test time at its widest usable option.
+func (j *Job) minTime(binWidth int) int64 { return j.widest(binWidth).Time }
+
+// volume is the wire-cycle area of the job at its widest usable option,
+// a proxy for the work the job adds to the bin.
+func (j *Job) volume(binWidth int) int64 {
+	p := j.widest(binWidth)
+	return int64(p.Width) * p.Time
+}
+
+// Placement is one scheduled job.
+type Placement struct {
+	Job    *Job
+	Width  int   // chosen TAM width
+	Start  int64 // start time, cycles
+	End    int64 // Start + T(Width)
+	WireLo int   // first wire of the contiguous band [WireLo, WireLo+Width)
+}
+
+func (p *Placement) overlapsTime(q *Placement) bool {
+	return p.Start < q.End && q.Start < p.End
+}
+
+func (p *Placement) overlapsWires(q *Placement) bool {
+	return p.WireLo < q.WireLo+q.Width && q.WireLo < p.WireLo+p.Width
+}
+
+// Schedule is a complete TAM test schedule.
+type Schedule struct {
+	Width      int // W, the SOC-level TAM width
+	Placements []Placement
+	Makespan   int64 // SOC test time in cycles
+}
+
+// Validate checks that the schedule is physically realizable: every
+// placement inside the bin, no two placements sharing a wire at the same
+// time, and no serialization group overlapping in time.
+func (s *Schedule) Validate() error {
+	for i := range s.Placements {
+		p := &s.Placements[i]
+		if p.Start < 0 || p.Width < 1 || p.WireLo < 0 || p.WireLo+p.Width > s.Width {
+			return fmt.Errorf("tam: placement %s outside bin: wires [%d,%d) of %d, start %d",
+				p.Job.ID, p.WireLo, p.WireLo+p.Width, s.Width, p.Start)
+		}
+		if p.End != p.Start+timeFor(p.Job, p.Width) {
+			return fmt.Errorf("tam: placement %s: End %d inconsistent with staircase", p.Job.ID, p.End)
+		}
+		if p.End > s.Makespan {
+			return fmt.Errorf("tam: placement %s ends at %d after makespan %d", p.Job.ID, p.End, s.Makespan)
+		}
+	}
+	for i := range s.Placements {
+		for j := i + 1; j < len(s.Placements); j++ {
+			p, q := &s.Placements[i], &s.Placements[j]
+			if p.overlapsTime(q) && p.overlapsWires(q) {
+				return fmt.Errorf("tam: %s and %s overlap in time and wires", p.Job.ID, q.Job.ID)
+			}
+			if p.Job.Group != "" && p.Job.Group == q.Job.Group && p.overlapsTime(q) {
+				return fmt.Errorf("tam: %s and %s share group %q but overlap in time", p.Job.ID, q.Job.ID, p.Job.Group)
+			}
+		}
+	}
+	return nil
+}
+
+// timeFor evaluates the job's staircase at width w: the time of the
+// widest option with Width ≤ w (w must cover the narrowest option).
+func timeFor(j *Job, w int) int64 {
+	t := int64(-1)
+	for _, p := range j.Options {
+		if p.Width > w {
+			break
+		}
+		t = p.Time
+	}
+	if t < 0 {
+		panic(fmt.Sprintf("tam: job %s evaluated below minimum width", j.ID))
+	}
+	return t
+}
+
+// ByEnd returns the placements sorted by end time then ID, for stable
+// reporting.
+func (s *Schedule) ByEnd() []Placement {
+	out := append([]Placement(nil), s.Placements...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].End != out[b].End {
+			return out[a].End < out[b].End
+		}
+		return out[a].Job.ID < out[b].Job.ID
+	})
+	return out
+}
+
+// Utilization is the fraction of the W×makespan bin covered by tests.
+func (s *Schedule) Utilization() float64 {
+	if s.Makespan == 0 || s.Width == 0 {
+		return 0
+	}
+	var used int64
+	for i := range s.Placements {
+		p := &s.Placements[i]
+		used += int64(p.Width) * (p.End - p.Start)
+	}
+	return float64(used) / (float64(s.Width) * float64(s.Makespan))
+}
+
+// LowerBound returns the packing lower bound for the jobs in a bin of
+// the given width: the larger of the total volume divided by the width
+// and the longest unavoidable job/group time.
+func LowerBound(jobs []*Job, width int) int64 {
+	var volume int64
+	var longest int64
+	groupTime := map[string]int64{}
+	for _, j := range jobs {
+		volume += j.volume(width)
+		mt := j.minTime(width)
+		if mt > longest {
+			longest = mt
+		}
+		if j.Group != "" {
+			groupTime[j.Group] += mt
+		}
+	}
+	for _, t := range groupTime {
+		if t > longest {
+			longest = t
+		}
+	}
+	if lb := (volume + int64(width) - 1) / int64(width); lb > longest {
+		return lb
+	}
+	return longest
+}

@@ -1,0 +1,130 @@
+package wrapper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mixsoc/internal/itc02"
+)
+
+func TestOptimalScanPartitionSmallCases(t *testing.T) {
+	cases := []struct {
+		lengths []int
+		w       int
+		want    int
+	}{
+		{[]int{10, 10, 10, 10}, 2, 20},
+		{[]int{9, 8, 7, 3, 2, 1}, 3, 10}, // perfectly balanced
+		{[]int{5}, 3, 5},
+		{[]int{7, 7, 7}, 2, 14},
+		{[]int{100, 1, 1, 1}, 2, 100},
+		{nil, 4, 0},
+		{[]int{3, 3, 3, 3, 3}, 5, 3},
+		// A case where greedy BFD is suboptimal: {4,4,3,3,3,3} into 2
+		// bins: BFD gives 4+3+3=10 vs optimal 4+3+3/4+3+3=10 ... use a
+		// classic: {7,6,5,4,4,4} into 2: BFD: 7+4+4=15,6+5+4=15 -> 15 =
+		// optimal 15. Use {5,5,4,3,3} into 2: opt 10 (5+5 / 4+3+3).
+		{[]int{5, 5, 4, 3, 3}, 2, 10},
+	}
+	for _, tc := range cases {
+		got, err := OptimalScanPartition(tc.lengths, tc.w)
+		if err != nil {
+			t.Fatalf("%v/%d: %v", tc.lengths, tc.w, err)
+		}
+		if got != tc.want {
+			t.Errorf("OptimalScanPartition(%v, %d) = %d, want %d", tc.lengths, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestOptimalScanPartitionErrors(t *testing.T) {
+	if _, err := OptimalScanPartition([]int{1}, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := OptimalScanPartition(make([]int, MaxExactChains+1), 2); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := OptimalScanPartition([]int{3, 0}, 2); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+}
+
+// Property: BFD is never better than the optimum, and the optimum never
+// better than the trivial lower bounds allow.
+func TestOptimalVsBFDProperty(t *testing.T) {
+	f := func(raw []uint8, wRaw uint8) bool {
+		w := int(wRaw%6) + 1
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		if n > 12 {
+			n = 12
+		}
+		lengths := make([]int, n)
+		total := 0
+		longest := 0
+		for i := 0; i < n; i++ {
+			lengths[i] = int(raw[i]%200) + 1
+			total += lengths[i]
+			if lengths[i] > longest {
+				longest = lengths[i]
+			}
+		}
+		opt, err := OptimalScanPartition(lengths, w)
+		if err != nil {
+			return false
+		}
+		bfd := maxOf(partitionBFD(lengths, w))
+		lb := (total + w - 1) / w
+		if longest > lb {
+			lb = longest
+		}
+		return opt >= lb && bfd >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBFDQualityOnBenchmark: on real-shaped scan profiles BFD stays
+// within 5% of optimal — the justification for using it in the planner.
+func TestBFDQualityOnBenchmark(t *testing.T) {
+	worst := 1.0
+	checked := 0
+	for _, m := range itc02.P93791().Cores() {
+		if len(m.Scan) == 0 || len(m.Scan) > MaxExactChains {
+			continue
+		}
+		for _, w := range []int{2, 3, 4, 6, 8} {
+			q, err := BFDQuality(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q < 1 {
+				t.Fatalf("module %d: BFD beat the optimum?! q=%v", m.ID, q)
+			}
+			if q > worst {
+				worst = q
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no module small enough for the exact solver")
+	}
+	t.Logf("checked %d (module,width) pairs; worst BFD/opt ratio %.4f", checked, worst)
+	if worst > 1.05 {
+		t.Errorf("BFD fell more than 5%% behind optimal: %.4f", worst)
+	}
+}
+
+func BenchmarkOptimalScanPartition(b *testing.B) {
+	lengths := []int{420, 419, 418, 417, 416, 415, 414, 413, 412, 411, 410, 409, 408, 407, 406, 405, 404, 403}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalScanPartition(lengths, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package wrapper
+
+import (
+	"fmt"
+
+	"mixsoc/internal/itc02"
+)
+
+// Point is one step of a module's test-time staircase: using Width TAM
+// wires, the module's tests finish in Time cycles.
+type Point struct {
+	Width int
+	Time  int64
+}
+
+// BestTime returns the smallest test time achievable with at most w TAM
+// wires. Because a core connected to w wires can always be configured to
+// use fewer, BestTime is non-increasing in w by construction, which
+// smooths out any partitioning-heuristic anomalies.
+func BestTime(m *itc02.Module, w int) (int64, error) {
+	if w < 1 {
+		return 0, fmt.Errorf("wrapper: module %d: width %d < 1", m.ID, w)
+	}
+	best := int64(-1)
+	for wi := 1; wi <= w; wi++ {
+		t, err := Time(m, wi)
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// Pareto returns the staircase of useful widths for module m up to maxW:
+// the (width, time) pairs at which the test time strictly improves over
+// every smaller width. The first point always has Width 1, and times are
+// strictly decreasing. Schedulers should only consider these widths; any
+// other width wastes TAM wires without reducing time.
+func Pareto(m *itc02.Module, maxW int) ([]Point, error) {
+	if maxW < 1 {
+		return nil, fmt.Errorf("wrapper: module %d: maxW %d < 1", m.ID, maxW)
+	}
+	var pts []Point
+	best := int64(-1)
+	for w := 1; w <= maxW; w++ {
+		t, err := Time(m, w)
+		if err != nil {
+			return nil, err
+		}
+		if best < 0 || t < best {
+			best = t
+			pts = append(pts, Point{Width: w, Time: t})
+		}
+	}
+	return pts, nil
+}
+
+// TimeAt evaluates a staircase at width w: the time of the widest point
+// with Width ≤ w. It panics if w is below the first point's width.
+func TimeAt(pts []Point, w int) int64 {
+	if len(pts) == 0 || w < pts[0].Width {
+		panic(fmt.Sprintf("wrapper: TimeAt(%d) below staircase start", w))
+	}
+	t := pts[0].Time
+	for _, p := range pts {
+		if p.Width > w {
+			break
+		}
+		t = p.Time
+	}
+	return t
+}
+
+// WidthFor returns the smallest width in the staircase whose time is
+// within the given budget, or 0 if even the widest point exceeds it.
+func WidthFor(pts []Point, budget int64) int {
+	for _, p := range pts {
+		if p.Time <= budget {
+			return p.Width
+		}
+	}
+	return 0
+}

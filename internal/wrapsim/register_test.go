@@ -1,0 +1,160 @@
+package wrapsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mixsoc/internal/asim"
+)
+
+func TestSerializeDeserializeRoundTrip(t *testing.T) {
+	codes := []uint8{0x00, 0xFF, 0xA5, 0x5A, 0x01, 0x80}
+	for _, width := range []int{1, 2, 4, 8} {
+		for _, cps := range []int{8, 10, 29} {
+			if cps < (8+width-1)/width {
+				continue
+			}
+			bits, err := Serialize(codes, 8, width, cps)
+			if err != nil {
+				t.Fatalf("width %d cps %d: %v", width, cps, err)
+			}
+			if len(bits) != len(codes)*cps {
+				t.Fatalf("width %d cps %d: %d cycles, want %d", width, cps, len(bits), len(codes)*cps)
+			}
+			back, err := Deserialize(bits, 8, width, cps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range codes {
+				if back[i] != codes[i] {
+					t.Fatalf("width %d cps %d: code %d came back %02x, want %02x", width, cps, i, back[i], codes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeErrors(t *testing.T) {
+	if _, err := Serialize([]uint8{1}, 0, 1, 8); err == nil {
+		t.Error("bits 0 accepted")
+	}
+	if _, err := Serialize([]uint8{1}, 8, 0, 8); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := Serialize([]uint8{1}, 8, 1, 4); err == nil {
+		t.Error("insufficient cycles per sample accepted")
+	}
+	if _, err := Deserialize([][]bool{{true}}, 8, 1, 8); err == nil {
+		t.Error("partial sample accepted")
+	}
+	if _, err := Deserialize([][]bool{{true, false}}, 1, 1, 1); err == nil {
+		t.Error("wrong wire count accepted")
+	}
+	if _, err := Deserialize(nil, 8, 1, 4); err == nil {
+		t.Error("insufficient cps accepted in deserialize")
+	}
+}
+
+func TestSerializeProperty(t *testing.T) {
+	f := func(codes []uint8, widthRaw, slackRaw uint8) bool {
+		if len(codes) == 0 {
+			return true
+		}
+		if len(codes) > 64 {
+			codes = codes[:64]
+		}
+		width := int(widthRaw%8) + 1
+		transfer := (8 + width - 1) / width
+		cps := transfer + int(slackRaw%8)
+		bits, err := Serialize(codes, 8, width, cps)
+		if err != nil {
+			return false
+		}
+		back, err := Deserialize(bits, 8, width, cps)
+		if err != nil || len(back) != len(codes) {
+			return false
+		}
+		for i := range codes {
+			if back[i] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildPatternSet(t *testing.T) {
+	w, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetMode(CoreTest); err != nil {
+		t.Fatal(err)
+	}
+	fs := w.EffectiveSampleRate()
+	filt, err := asim.ButterworthLowpass(2, 60e3, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := func(x []float64, _ float64) []float64 { return filt.ProcessAll(x) }
+
+	stim, err := asim.MultiTone([]asim.Tone{{Freq: 20e3, Amp: 1}}, fs, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]uint8, len(stim))
+	for i, v := range stim {
+		codes[i] = QuantizeIdeal(v+2, 4)
+	}
+
+	ps, err := w.BuildPatternSet(codes, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pattern cost equals the wrapper's schedule cost for the same
+	// number of samples — the link between wrapsim and the TAM planner.
+	if ps.Cycles != w.TestCycles(len(codes)) {
+		t.Errorf("pattern cycles %d != schedule cycles %d", ps.Cycles, w.TestCycles(len(codes)))
+	}
+	if ps.Width != 1 {
+		t.Errorf("width = %d", ps.Width)
+	}
+	if len(ps.Stimulus) != len(ps.Expected) {
+		t.Error("stimulus/expected shape mismatch")
+	}
+	// Stimulus bits decode back to the original codes.
+	back, err := Deserialize(ps.Stimulus, 8, ps.Width, w.DivideRatio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codes {
+		if back[i] != codes[i] {
+			t.Fatalf("stimulus pattern corrupted at %d", i)
+		}
+	}
+	// Expected bits decode to the wrapper's actual response.
+	want, err := w.ApplyCodes(codes, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := Deserialize(ps.Expected, 8, ps.Width, w.DivideRatio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if gotResp[i] != want[i] {
+			t.Fatalf("expected pattern corrupted at %d", i)
+		}
+	}
+
+	// Normal mode refuses.
+	if err := w.SetMode(Normal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.BuildPatternSet(codes, path); err == nil {
+		t.Error("pattern set built in normal mode")
+	}
+}

@@ -1,0 +1,88 @@
+package wrapsim
+
+import (
+	"testing"
+)
+
+func selfTestWrapper(t *testing.T, cfg Config) *Wrapper {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetMode(SelfTest); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSelfTestRampIdealConverters(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.ADCINL, cfg.DACINL, cfg.ResidueError = 0, 0, 0
+	cfg.PathBandwidth = 0
+	w := selfTestWrapper(t, cfg)
+	p, err := w.SelfTestRamp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An ideal loop has a small, systematic half-LSB artifact at most.
+	if p.PeakINL > 1.0 {
+		t.Errorf("ideal loop peak INL = %.2f LSB", p.PeakINL)
+	}
+	if !p.Monotone {
+		t.Error("ideal loop not monotone")
+	}
+	if p.MissingCodes > 1 {
+		t.Errorf("ideal loop missing %d codes", p.MissingCodes)
+	}
+	if err := p.Pass(1.0, 1); err != nil {
+		t.Errorf("ideal converters fail production limits: %v", err)
+	}
+	if p.TestCycles != 256*29 {
+		t.Errorf("ramp cost = %d cycles, want %d", p.TestCycles, 256*29)
+	}
+}
+
+func TestSelfTestRampDetectsINL(t *testing.T) {
+	good := PaperConfig()
+	good.PathBandwidth = 0 // a ramp is slow; exclude settling effects
+	bad := good
+	bad.ADCINL, bad.DACINL = 3.0, 3.0
+
+	pGood, err := selfTestWrapper(t, good).SelfTestRamp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBad, err := selfTestWrapper(t, bad).SelfTestRamp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBad.PeakINL <= pGood.PeakINL {
+		t.Errorf("degraded converters not detected: %.2f vs %.2f LSB", pBad.PeakINL, pGood.PeakINL)
+	}
+	// Production limits for an uncorrected 8-bit loop: ±2 LSB INL and a
+	// handful of missing codes. The paper-grade wrapper (0.6 LSB stage
+	// INL, peak loop INL ≈ 1) passes; the degraded one must not.
+	if err := pGood.Pass(2.0, 8); err != nil {
+		t.Errorf("paper wrapper fails self-test limits: %v", err)
+	}
+	if err := pBad.Pass(2.0, 8); err == nil {
+		t.Error("3-LSB-INL wrapper passed a 2 LSB limit")
+	}
+}
+
+func TestSelfTestRampModeGuard(t *testing.T) {
+	w, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.SelfTestRamp(); err == nil {
+		t.Error("ramp allowed outside self-test mode")
+	}
+	if err := w.SetMode(CoreTest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.SelfTestRamp(); err == nil {
+		t.Error("ramp allowed in core-test mode")
+	}
+}

@@ -1,0 +1,171 @@
+package wrapsim
+
+import (
+	"fmt"
+	"math"
+
+	"mixsoc/internal/asim"
+	"mixsoc/internal/dsp"
+)
+
+// This file implements the specification measurements of Table 2 as
+// wrapper-in-the-loop procedures: pass-band gain, total harmonic
+// distortion, DC offset, and the third-order input intercept. Each
+// drives the core-under-test through the wrapper's DAC and digitizes
+// the response with its ADC, exactly like the cut-off test of
+// cutoff.go, so analog specs are measured with purely digital patterns.
+
+// MeasureGain measures the core's gain at freq: a single tone of the
+// given amplitude is applied and the output/input amplitude ratio
+// returned. The leading eighth of the capture is discarded as settling.
+func (w *Wrapper) MeasureGain(path AnalogPath, freq, amp float64, samples int) (float64, error) {
+	if err := w.checkMeasure(samples); err != nil {
+		return 0, err
+	}
+	fs := w.EffectiveSampleRate()
+	stim, err := asim.MultiTone([]asim.Tone{{Freq: freq, Amp: amp}}, fs, samples)
+	if err != nil {
+		return 0, err
+	}
+	out, err := w.ApplyWaveform(stim, path)
+	if err != nil {
+		return 0, err
+	}
+	skip := samples / 8
+	in, err := dsp.ToneMagnitude(stim[skip:], freq, fs)
+	if err != nil {
+		return 0, err
+	}
+	if in == 0 {
+		return 0, fmt.Errorf("wrapsim: zero stimulus amplitude at %v Hz", freq)
+	}
+	outMag, err := dsp.ToneMagnitude(out[skip:], freq, fs)
+	if err != nil {
+		return 0, err
+	}
+	return outMag / in, nil
+}
+
+// MeasureTHD measures total harmonic distortion (dB, negative is
+// cleaner) of the core's response to a pure tone at f0. The wrapper's
+// own quantization sets the measurement floor near -(6.02·N+1.76) dB.
+func (w *Wrapper) MeasureTHD(path AnalogPath, f0, amp float64, samples, maxHarmonic int) (float64, error) {
+	if err := w.checkMeasure(samples); err != nil {
+		return 0, err
+	}
+	fs := w.EffectiveSampleRate()
+	stim, err := asim.MultiTone([]asim.Tone{{Freq: f0, Amp: amp}}, fs, samples)
+	if err != nil {
+		return 0, err
+	}
+	out, err := w.ApplyWaveform(stim, path)
+	if err != nil {
+		return 0, err
+	}
+	skip := samples / 8
+	return dsp.THD(out[skip:], f0, fs, maxHarmonic)
+}
+
+// MeasureOffset measures the core's DC offset in volts: a mid-scale
+// (zero) stimulus is applied and the mean response taken. This is the
+// Voffset test of Table 2.
+func (w *Wrapper) MeasureOffset(path AnalogPath, samples int) (float64, error) {
+	if err := w.checkMeasure(samples); err != nil {
+		return 0, err
+	}
+	stim := make([]float64, samples)
+	out, err := w.ApplyWaveform(stim, path)
+	if err != nil {
+		return 0, err
+	}
+	skip := samples / 8
+	var sum float64
+	for _, v := range out[skip:] {
+		sum += v
+	}
+	return sum / float64(len(out)-skip), nil
+}
+
+// MeasureIIP3 runs the classic two-tone intermodulation test: tones at
+// f1 and f2 (volts amplitude each) are applied and the third-order
+// products at 2f1-f2 and 2f2-f1 measured. The returned value is the
+// extrapolated third-order input intercept point in dBV:
+//
+//	IIP3 = Pin + ΔP/2,  ΔP = Pfund − PIM3  (all in dB)
+//
+// A perfectly linear core has no IM3; the measurement then returns the
+// wrapper's own floor, reported as +Inf-like large value capped to
+// MaxIIP3dBV.
+func (w *Wrapper) MeasureIIP3(path AnalogPath, f1, f2, amp float64, samples int) (float64, error) {
+	if err := w.checkMeasure(samples); err != nil {
+		return 0, err
+	}
+	if f1 == f2 || f1 <= 0 || f2 <= 0 {
+		return 0, fmt.Errorf("wrapsim: IIP3 needs two distinct positive tones, got %v and %v", f1, f2)
+	}
+	fs := w.EffectiveSampleRate()
+	stim, err := asim.MultiTone([]asim.Tone{{Freq: f1, Amp: amp}, {Freq: f2, Amp: amp, Phase: 1.3}}, fs, samples)
+	if err != nil {
+		return 0, err
+	}
+	out, err := w.ApplyWaveform(stim, path)
+	if err != nil {
+		return 0, err
+	}
+	skip := samples / 8
+	fund, err := dsp.ToneMagnitude(out[skip:], f1, fs)
+	if err != nil {
+		return 0, err
+	}
+	im3Lo := 2*f1 - f2
+	im3Hi := 2*f2 - f1
+	var im3 float64
+	for _, f := range []float64{im3Lo, im3Hi} {
+		if f <= 0 || f >= fs/2 {
+			continue
+		}
+		m, err := dsp.ToneMagnitude(out[skip:], f, fs)
+		if err != nil {
+			return 0, err
+		}
+		if m > im3 {
+			im3 = m
+		}
+	}
+	pin := dsp.AmplitudeDB(amp)
+	if im3 <= 0 || fund <= 0 {
+		return MaxIIP3dBV, nil
+	}
+	delta := dsp.AmplitudeDB(fund) - dsp.AmplitudeDB(im3)
+	iip3 := pin + delta/2
+	if iip3 > MaxIIP3dBV {
+		iip3 = MaxIIP3dBV
+	}
+	return iip3, nil
+}
+
+// MaxIIP3dBV caps reported intercept points: beyond this the
+// measurement is floor-limited by the wrapper's converters.
+const MaxIIP3dBV = 60.0
+
+func (w *Wrapper) checkMeasure(samples int) error {
+	if samples < 64 {
+		return fmt.Errorf("wrapsim: measurement needs >= 64 samples, got %d", samples)
+	}
+	if w.mode != CoreTest && w.mode != SelfTest {
+		return fmt.Errorf("wrapsim: select core-test (or self-test) mode before measuring")
+	}
+	return nil
+}
+
+// TheoreticalIIP3 returns the intercept point (dBV) of a memoryless
+// cubic nonlinearity y = g·x + c3·x³: IIP3 = sqrt(4g/(3|c3|)) in volts,
+// converted to dBV. Exposed for tests and examples to compare wrapped
+// measurements against ground truth.
+func TheoreticalIIP3(gain, c3 float64) float64 {
+	if c3 == 0 {
+		return MaxIIP3dBV
+	}
+	v := math.Sqrt(4 * gain / (3 * math.Abs(c3)))
+	return dsp.AmplitudeDB(v)
+}

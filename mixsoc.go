@@ -1,0 +1,194 @@
+// Package mixsoc is a test-planning library for mixed-signal
+// systems-on-chip with wrapped analog cores, reproducing Sehgal, Liu,
+// Ozev and Chakrabarty, "Test Planning for Mixed-Signal SOCs with
+// Wrapped Analog Cores" (DATE 2005).
+//
+// The library answers the paper's question: given a digital SOC with
+// embedded analog cores, a SOC-level TAM width W, and a cost trade-off
+// between test time and silicon area, which analog cores should share
+// reconfigurable analog test wrappers, and how should every test be
+// scheduled on the TAM?
+//
+// The main entry points are:
+//
+//   - P93791M, the paper's benchmark SOC (ITC'02 p93791 plus five analog
+//     cores from a commercial baseband chip);
+//   - Plan / PlanExhaustive, the Cost_Optimizer heuristic of the paper
+//     (Figure 3) and the exhaustive baseline;
+//   - ScheduleFor, a rectangle-packed TAM schedule for any specific
+//     wrapper-sharing configuration;
+//   - WrapperAccuracy, the behavioural wrapper-in-the-loop measurement
+//     experiment of Section 5 (Figure 5).
+//
+// Deeper control — wrapper design for digital cores, analog wrapper area
+// models, partition policies, the packer itself — lives in the internal
+// packages and is re-exported here through type aliases where users need
+// to hold the values.
+package mixsoc
+
+import (
+	"io"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/asim"
+	"mixsoc/internal/core"
+	"mixsoc/internal/itc02"
+	"mixsoc/internal/partition"
+	"mixsoc/internal/tam"
+	"mixsoc/internal/wrapsim"
+)
+
+// Core planning types, aliased so callers work with the same values the
+// internal packages produce.
+type (
+	// Design is a mixed-signal SOC: a digital ITC'02-style SOC plus
+	// embedded analog cores.
+	Design = core.Design
+	// Weights are the cost weighting factors wT and wA of Problem P_msoc.
+	Weights = core.Weights
+	// Planner solves Problem P_msoc at one TAM width.
+	Planner = core.Planner
+	// Result is a planning outcome: best configuration, cost breakdown,
+	// and evaluation counts.
+	Result = core.Result
+	// Evaluation is the costing of one sharing configuration.
+	Evaluation = core.Evaluation
+
+	// SOC is a digital SOC in the ITC'02 benchmark model.
+	SOC = itc02.SOC
+	// Module is a digital core of a SOC.
+	Module = itc02.Module
+	// ModuleTest is one test of a digital module.
+	ModuleTest = itc02.Test
+
+	// AnalogCore is an embedded analog core with its specification tests.
+	AnalogCore = analog.Core
+	// AnalogTest is one specification-based analog test (a Table 2 row).
+	AnalogTest = analog.Test
+	// Hertz is a frequency in hertz; use KHz and MHz multipliers.
+	Hertz = analog.Hertz
+
+	// Partition is a wrapper-sharing configuration of the analog cores.
+	Partition = partition.Partition
+	// Schedule is a packed TAM test schedule.
+	Schedule = tam.Schedule
+
+	// WrapperConfig sizes a behavioural analog test wrapper.
+	WrapperConfig = wrapsim.Config
+	// WrapperExperiment is a configurable wrapper-in-the-loop cut-off
+	// frequency measurement (the Section 5 experiment).
+	WrapperExperiment = wrapsim.CutoffExperiment
+	// WrapperAccuracyResult is the Figure 5 experiment outcome.
+	WrapperAccuracyResult = wrapsim.CutoffResult
+	// Tone is one sinusoidal stimulus component for wrapper experiments.
+	Tone = asim.Tone
+)
+
+// Candidate-partition policies for Planner.Policy.
+var (
+	// PolicyPaper is the paper's 26-combination candidate set.
+	PolicyPaper = partition.PaperPolicy
+	// PolicyFull admits every sharing configuration with at least one
+	// shared wrapper.
+	PolicyFull = partition.FullPolicy
+)
+
+// Frequency units for AnalogTest fields.
+const (
+	KHz = analog.KHz
+	MHz = analog.MHz
+)
+
+// EqualWeights is the balanced cost setting wT = wA = 0.5.
+var EqualWeights = core.EqualWeights
+
+// P93791M returns the paper's experimental SOC: the embedded p93791
+// digital benchmark augmented with the five analog cores of Table 2.
+func P93791M() *Design {
+	return &Design{
+		Name:    "p93791m",
+		Digital: itc02.P93791(),
+		Analog:  analog.PaperCores(),
+	}
+}
+
+// P93791 returns the digital-only embedded benchmark.
+func P93791() *SOC { return itc02.P93791() }
+
+// D281 returns the small embedded digital benchmark, convenient for
+// fast experiments.
+func D281() *SOC { return itc02.D281() }
+
+// PaperAnalogCores returns fresh copies of the five Table 2 cores.
+func PaperAnalogCores() []*AnalogCore { return analog.PaperCores() }
+
+// LoadSOC parses a digital SOC description in the ITC'02-style text
+// format documented in internal/itc02.
+func LoadSOC(r io.Reader) (*SOC, error) { return itc02.Parse(r) }
+
+// FormatSOC renders a SOC back to the text format.
+func FormatSOC(s *SOC) string { return itc02.Format(s) }
+
+// LoadAnalogCores parses analog core specifications in the text format
+// documented in internal/analog (AnalogCore/Test blocks with Band,
+// Fsample, Cycles, TamWidth, Resolution fields).
+func LoadAnalogCores(r io.Reader) ([]*AnalogCore, error) { return analog.ParseCores(r) }
+
+// FormatAnalogCores renders analog cores back to the text format.
+func FormatAnalogCores(cores []*AnalogCore) string { return analog.FormatCores(cores) }
+
+// Sweep solves the planning problem across several TAM widths and
+// weight settings and returns every solved point; see BestSweepPoint.
+func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool) ([]core.SweepPoint, error) {
+	return core.Sweep(d, widths, weights, exhaustive, nil)
+}
+
+// BestSweepPoint picks the cheapest point of a sweep, preferring
+// narrower TAMs on ties.
+func BestSweepPoint(points []core.SweepPoint) (core.SweepPoint, error) {
+	return core.BestOver(points)
+}
+
+// Plan runs the paper's Cost_Optimizer heuristic (Figure 3) on the
+// design at TAM width w with the given cost weights and the paper's
+// default cost model and candidate policy.
+func Plan(d *Design, w int, weights Weights) (*Result, error) {
+	return core.NewPlanner(d, w, weights).CostOptimizer()
+}
+
+// PlanExhaustive evaluates every candidate sharing configuration, the
+// paper's optimal-but-expensive baseline.
+func PlanExhaustive(d *Design, w int, weights Weights) (*Result, error) {
+	return core.NewPlanner(d, w, weights).Exhaustive()
+}
+
+// NewPlanner exposes the full planner for callers that need to change
+// the cost model, candidate policy, or pruning behaviour.
+func NewPlanner(d *Design, w int, weights Weights) *Planner {
+	return core.NewPlanner(d, w, weights)
+}
+
+// ScheduleFor packs a TAM schedule for one specific sharing
+// configuration p at width w (use d.AllShare(), d.NoShare(), or any
+// enumeration result).
+func ScheduleFor(d *Design, p Partition, w int) (*Schedule, error) {
+	return core.NewEvaluator(d, w).Schedule(p)
+}
+
+// WrapperAccuracy runs the Section 5 wrapper-in-the-loop experiment
+// with the paper's parameters and returns the spectra and extracted
+// cut-off frequencies of Figure 5.
+func WrapperAccuracy() (*WrapperAccuracyResult, error) {
+	return wrapsim.PaperCutoffExperiment().Run()
+}
+
+// PaperWrapperExperiment returns the Section 5 experiment configuration
+// for callers that want to vary it (sample counts, converter
+// nonidealities, core cut-off) before calling Run.
+func PaperWrapperExperiment() WrapperExperiment {
+	return wrapsim.PaperCutoffExperiment()
+}
+
+// PaperWrapperConfig returns the 8-bit, 50 MHz, 4 V wrapper
+// configuration of the paper's test chip.
+func PaperWrapperConfig() WrapperConfig { return wrapsim.PaperConfig() }

@@ -1,0 +1,191 @@
+package mixsoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// The root package is a facade; these tests exercise the public entry
+// points end to end the way a downstream user would.
+
+func TestP93791MPlanEndToEnd(t *testing.T) {
+	d := P93791M()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(d, 32, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost <= 0 || res.Best.Cost > 100 {
+		t.Errorf("cost = %v", res.Best.Cost)
+	}
+	if res.NEval >= res.Candidates {
+		t.Errorf("heuristic did not prune: %d of %d", res.NEval, res.Candidates)
+	}
+	label := res.Best.Label(d.AnalogNames())
+	if !strings.HasPrefix(label, "{") {
+		t.Errorf("label = %q", label)
+	}
+
+	// The chosen configuration must schedule cleanly.
+	s, err := ScheduleFor(d, res.Best.Partition, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != res.Best.TestTime {
+		t.Errorf("schedule makespan %d != planned %d", s.Makespan, res.Best.TestTime)
+	}
+}
+
+func TestPlanExhaustiveAgrees(t *testing.T) {
+	d := P93791M()
+	ex, err := PlanExhaustive(d, 40, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Plan(d, 40, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Best.Cost < ex.Best.Cost-1e-9 {
+		t.Error("heuristic below exhaustive optimum (impossible)")
+	}
+}
+
+func TestLoadAndFormatSOC(t *testing.T) {
+	d := P93791()
+	text := FormatSOC(d)
+	back, err := LoadSOC(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != d.String() {
+		t.Errorf("round trip changed SOC: %s vs %s", back, d)
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	d := P93791M()
+	pts, err := Sweep(d, []int{32, 48}, []Weights{EqualWeights, {Time: 0.25, Area: 0.75}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	best, err := BestSweepPoint(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Result.Best.Cost <= 0 {
+		t.Errorf("best cost = %v", best.Result.Best.Cost)
+	}
+}
+
+func TestAnalogCoreFormatFacade(t *testing.T) {
+	cores := PaperAnalogCores()
+	text := FormatAnalogCores(cores)
+	back, err := LoadAnalogCores(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cores) {
+		t.Fatalf("cores = %d, want %d", len(back), len(cores))
+	}
+	if back[2].Name != "C" || back[2].Tests[2].Name != "THD" {
+		t.Errorf("core C round trip broken: %+v", back[2])
+	}
+}
+
+func TestD281Facade(t *testing.T) {
+	soc := D281()
+	if err := soc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(soc.Cores()) != 8 {
+		t.Errorf("d281 cores = %d, want 8", len(soc.Cores()))
+	}
+	// The small SOC plans quickly with a couple of analog cores.
+	d := &Design{Name: "d281m", Digital: soc, Analog: PaperAnalogCores()[:2]}
+	res, err := Plan(d, 16, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleFor(d, res.Best.Partition, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s.CSV(), "job,group,width,") {
+		t.Error("schedule CSV broken")
+	}
+}
+
+func TestWrapperAccuracyFacade(t *testing.T) {
+	res, err := WrapperAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorPercent <= 0 || res.ErrorPercent > 12 {
+		t.Errorf("error%% = %v", res.ErrorPercent)
+	}
+}
+
+func TestCustomDesignThroughFacade(t *testing.T) {
+	// A user-built design: a small digital SOC plus two analog cores.
+	socText := `
+SocName demo
+Module 1
+  Name dsp
+  Inputs 16
+  Outputs 16
+  ScanChains 4
+  ScanChainLengths 100 90 80 70
+  Test 1
+    Patterns 500
+  EndTest
+EndModule
+Module 2
+  Name ctrl
+  Inputs 8
+  Outputs 8
+  Test 1
+    Patterns 200
+    ScanUse 0
+  EndTest
+EndModule
+`
+	soc, err := LoadSOC(strings.NewReader(socText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Design{Name: "demo-m", Digital: soc, Analog: []*AnalogCore{
+		{Name: "PLL", Kind: "clock synthesis", Tests: []AnalogTest{
+			{Name: "lock", FinLow: 1 * MHz, FinHigh: 1 * MHz, Fsample: 8 * MHz, Cycles: 20000, TAMWidth: 2, Resolution: 8},
+		}},
+		{Name: "AFE", Kind: "front end", Tests: []AnalogTest{
+			{Name: "gain", FinLow: 10 * KHz, FinHigh: 20 * KHz, Fsample: 1 * MHz, Cycles: 15000, TAMWidth: 1, Resolution: 8},
+			{Name: "thd", FinLow: 1 * KHz, FinHigh: 5 * KHz, Fsample: 1 * MHz, Cycles: 30000, TAMWidth: 1, Resolution: 8},
+		}},
+	}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Plan(d, 16, Weights{Time: 0.6, Area: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleFor(d, res.Best.Partition, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
