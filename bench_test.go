@@ -248,6 +248,31 @@ func BenchmarkAblationAreaModel(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepGrid measures the trade-off grid engine end to end:
+// grid points fan across the worker pool and points at one width share
+// a schedule cache, so this is the benchmark that tracks the planning
+// engine's throughput (as opposed to single-solve latency).
+func BenchmarkSweepGrid(b *testing.B) {
+	d := P93791M()
+	widths := []int{32, 48, 64}
+	weights := []Weights{EqualWeights, {Time: 0.25, Area: 0.75}, {Time: 0.75, Area: 0.25}}
+	var points []core.SweepPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = Sweep(d, widths, weights, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best, err := BestSweepPoint(points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(points)), "points")
+	b.ReportMetric(best.Result.Best.Cost, "bestCost")
+	b.ReportMetric(float64(best.Width), "bestW")
+}
+
 // BenchmarkPlanHeuristicVsExhaustive is the end-to-end solver
 // comparison at one representative point (W=48, equal weights).
 func BenchmarkPlanHeuristicVsExhaustive(b *testing.B) {

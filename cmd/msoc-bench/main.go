@@ -1,0 +1,169 @@
+// Command msoc-bench times the planning hot paths and writes
+// machine-readable BENCH_<name>.json files, so successive changes to the
+// packer or the planners leave a comparable perf trail.
+//
+// Usage:
+//
+//	msoc-bench [-out dir] [-repeat n] [-workers n] [-bench name]
+//
+// Each benchmark regenerates a full experiment through the same code
+// paths as cmd/msoc-tables and the go test benchmarks, records the best
+// wall time over -repeat runs, and embeds the experiment's headline
+// metrics so a perf change that altered results is immediately visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/core"
+	"mixsoc/internal/experiments"
+)
+
+type report struct {
+	Name        string             `json:"name"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Repeats     int                `json:"repeats"`
+	BestSeconds float64            `json:"best_wall_seconds"`
+	AllSeconds  []float64          `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+type benchmark struct {
+	name string
+	run  func() (map[string]float64, error)
+}
+
+func benchmarks() []benchmark {
+	return []benchmark{
+		{"table1", func() (map[string]float64, error) {
+			rows, err := experiments.Table1(analog.PaperCostModel())
+			if err != nil {
+				return nil, err
+			}
+			m := map[string]float64{"combos": float64(len(rows))}
+			for _, r := range rows {
+				if r.Label == "{A,C}" {
+					m["LTB{A,C}"] = r.LTB
+				}
+			}
+			return m, nil
+		}},
+		{"table3", func() (map[string]float64, error) {
+			res, err := experiments.Table3(nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			m := map[string]float64{}
+			for i, w := range res.Widths {
+				m[fmt.Sprintf("spreadW%d", w)] = res.Spread[i]
+			}
+			return m, nil
+		}},
+		{"table4", func() (map[string]float64, error) {
+			res, err := experiments.Table4(nil, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"meanReduction%": res.MeanReduction(),
+				"optimal%":       100 * res.OptimalFraction(),
+			}, nil
+		}},
+		{"plan-heuristic", func() (map[string]float64, error) {
+			pl := core.NewPlanner(experiments.Design(), 48, core.EqualWeights)
+			res, err := pl.CostOptimizer()
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"NEval":    float64(res.NEval),
+				"cost":     res.Best.Cost,
+				"makespan": float64(res.Best.TestTime),
+			}, nil
+		}},
+		{"plan-exhaustive", func() (map[string]float64, error) {
+			pl := core.NewPlanner(experiments.Design(), 48, core.EqualWeights)
+			res, err := pl.Exhaustive()
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"NEval":    float64(res.NEval),
+				"cost":     res.Best.Cost,
+				"makespan": float64(res.Best.TestTime),
+			}, nil
+		}},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msoc-bench: ")
+	out := flag.String("out", ".", "directory for the BENCH_*.json files")
+	repeat := flag.Int("repeat", 3, "runs per benchmark; the best wall time is reported")
+	workers := flag.Int("workers", 0, "cap the worker pool (0 = all CPUs)")
+	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, or all")
+	flag.Parse()
+
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	ran := 0
+	for _, b := range benchmarks() {
+		if *which != "all" && *which != b.name {
+			continue
+		}
+		ran++
+		rep := report{
+			Name:       b.name,
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Repeats:    *repeat,
+		}
+		for i := 0; i < *repeat; i++ {
+			start := time.Now()
+			metrics, err := b.run()
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				log.Fatalf("%s: %v", b.name, err)
+			}
+			rep.AllSeconds = append(rep.AllSeconds, secs)
+			if rep.BestSeconds == 0 || secs < rep.BestSeconds {
+				rep.BestSeconds = secs
+			}
+			rep.Metrics = metrics
+		}
+		path := filepath.Join(*out, "BENCH_"+rep.Name+".json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %8.3fs  -> %s\n", rep.Name, rep.BestSeconds, path)
+	}
+	if ran == 0 {
+		log.Fatalf("unknown -bench %q", *which)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/experiments"
@@ -25,7 +26,12 @@ func main() {
 	log.SetPrefix("msoc-tables: ")
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, 5, fig5, or all")
 	rule := flag.String("areamodel", "paper", "wrapper area pricing for Table 1: paper, merged, or max")
+	workers := flag.Int("workers", 0, "cap the worker pool for tables 3 and 4 (0 = all CPUs)")
 	flag.Parse()
+
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	var cm analog.CostModel
 	switch *rule {

@@ -1,0 +1,3 @@
+module mixsoc
+
+go 1.24

@@ -31,7 +31,6 @@ import (
 	"mixsoc/internal/itc02"
 	"mixsoc/internal/partition"
 	"mixsoc/internal/tam"
-	"mixsoc/internal/wrapper"
 )
 
 // Design is a mixed-signal SOC: a digital SOC plus embedded analog cores.
@@ -112,37 +111,9 @@ func (d *Design) Candidates(policy partition.Policy) []partition.Partition {
 //     and the several tests of a single core, which occupy the same
 //     wrapper — therefore never overlap in time.
 func BuildJobs(d *Design, p partition.Partition, width int) ([]*tam.Job, error) {
-	if width < 1 {
-		return nil, fmt.Errorf("core: TAM width %d < 1", width)
+	digital, err := DigitalJobs(d, width)
+	if err != nil {
+		return nil, err
 	}
-	if p.N() != len(d.Analog) {
-		return nil, fmt.Errorf("core: partition covers %d cores, design has %d", p.N(), len(d.Analog))
-	}
-	var jobs []*tam.Job
-	for _, m := range d.Digital.Cores() {
-		pts, err := wrapper.Pareto(m, width)
-		if err != nil {
-			return nil, err
-		}
-		name := m.Name
-		if name == "" {
-			name = fmt.Sprintf("module%d", m.ID)
-		}
-		jobs = append(jobs, &tam.Job{ID: name, Options: pts})
-	}
-	for gi, g := range p {
-		group := fmt.Sprintf("wrapper%d", gi)
-		for _, ci := range g {
-			c := d.Analog[ci]
-			for ti := range c.Tests {
-				t := &c.Tests[ti]
-				jobs = append(jobs, &tam.Job{
-					ID:      fmt.Sprintf("%s/%s", c.Name, t.Name),
-					Options: []wrapper.Point{{Width: t.TAMWidth, Time: t.Cycles}},
-					Group:   group,
-				})
-			}
-		}
-	}
-	return jobs, nil
+	return appendAnalogJobs(digital, d, p)
 }

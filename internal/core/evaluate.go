@@ -2,51 +2,152 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/partition"
 	"mixsoc/internal/tam"
+	"mixsoc/internal/wrapper"
 )
+
+// ScheduleCache is a concurrency-safe store of TAM schedules keyed by
+// sharing configuration, for one design at one TAM width. Sharing a
+// cache between evaluators (e.g. across the weight settings of a Table 4
+// sweep, or between an exhaustive and a heuristic run at the same width)
+// deduplicates the packing work without changing any reported numbers:
+// the TAM optimizer is deterministic, so a cached schedule is identical
+// to a recomputed one, and each Evaluator still counts its own NEval.
+type ScheduleCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	s    *tam.Schedule
+	err  error
+}
+
+// NewScheduleCache returns an empty schedule cache.
+func NewScheduleCache() *ScheduleCache {
+	return &ScheduleCache{m: map[string]*cacheEntry{}}
+}
+
+func (c *ScheduleCache) entry(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.m[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	return e
+}
 
 // Evaluator runs TAM optimizations for sharing configurations of one
 // design at one TAM width, caching results by configuration. It counts
 // the number of distinct TAM optimizer runs, the NEval metric of
-// Table 4.
+// Table 4. It is safe for concurrent use: parallel planners prefetch
+// schedules through it (Prefetch does not count toward NEval) and a
+// deterministic replay then accounts the runs in sequential order.
 type Evaluator struct {
 	Design *Design
 	Width  int
 
-	cache map[string]*tam.Schedule
-	runs  int
+	cache *ScheduleCache
+
+	mu      sync.Mutex
+	counted map[string]bool
+	runs    int
+
+	// The digital cores' wrapper staircases are identical for every
+	// sharing configuration, so they are designed once per evaluator and
+	// shared by all schedules (the packer never mutates jobs).
+	digOnce    sync.Once
+	digital    []*tam.Job
+	digitalErr error
 }
 
-// NewEvaluator returns an evaluator for the design at the given width.
+// NewEvaluator returns an evaluator for the design at the given width
+// with a private schedule cache.
 func NewEvaluator(d *Design, width int) *Evaluator {
-	return &Evaluator{Design: d, Width: width, cache: map[string]*tam.Schedule{}}
+	return NewSharedEvaluator(d, width, nil)
 }
 
-// Runs returns the number of TAM optimizer invocations so far (cache
-// misses only).
-func (e *Evaluator) Runs() int { return e.runs }
+// NewSharedEvaluator returns an evaluator backed by the given schedule
+// cache; nil means a private cache. The cache must only be shared
+// between evaluators of the same design and width.
+func NewSharedEvaluator(d *Design, width int, cache *ScheduleCache) *Evaluator {
+	if cache == nil {
+		cache = NewScheduleCache()
+	}
+	return &Evaluator{Design: d, Width: width, cache: cache, counted: map[string]bool{}}
+}
+
+// Runs returns the number of TAM optimizer invocations accounted so far:
+// distinct configurations requested through Schedule or TestTime.
+// Prefetched schedules are not counted until (unless) they are requested.
+func (e *Evaluator) Runs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runs
+}
+
+func (e *Evaluator) digitalJobs() ([]*tam.Job, error) {
+	e.digOnce.Do(func() {
+		e.digital, e.digitalErr = DigitalJobs(e.Design, e.Width)
+	})
+	return e.digital, e.digitalErr
+}
+
+func (e *Evaluator) compute(p partition.Partition, key string) (*tam.Schedule, error) {
+	ent := e.cache.entry(key)
+	ent.once.Do(func() {
+		digital, err := e.digitalJobs()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		jobs, err := appendAnalogJobs(digital, e.Design, p)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.s, ent.err = tam.Optimize(jobs, e.Width)
+	})
+	return ent.s, ent.err
+}
 
 // Schedule returns the rectangle-packed schedule for configuration p,
-// computing it on first use.
+// computing it on first use anywhere (this evaluator or a shared cache)
+// and counting it toward Runs on first use here.
 func (e *Evaluator) Schedule(p partition.Partition) (*tam.Schedule, error) {
 	key := p.Key(nil)
-	if s, ok := e.cache[key]; ok {
-		return s, nil
-	}
-	jobs, err := BuildJobs(e.Design, p, e.Width)
+	s, err := e.compute(p, key)
 	if err != nil {
 		return nil, err
 	}
-	s, err := tam.Optimize(jobs, e.Width)
-	if err != nil {
-		return nil, err
+	e.mu.Lock()
+	if !e.counted[key] {
+		e.counted[key] = true
+		e.runs++
 	}
-	e.runs++
-	e.cache[key] = s
+	e.mu.Unlock()
 	return s, nil
+}
+
+// Prefetch computes and caches the schedule for configuration p without
+// counting it toward Runs. Parallel planners use it to warm the cache
+// speculatively; errors are deliberately dropped here and resurface,
+// deterministically, when the schedule is actually requested.
+func (e *Evaluator) Prefetch(p partition.Partition) {
+	_, _ = e.compute(p, p.Key(nil))
+}
+
+// scheduleUncounted is Prefetch returning its schedule: it computes and
+// caches without touching Runs, for speculative cost probes.
+func (e *Evaluator) scheduleUncounted(p partition.Partition) (*tam.Schedule, error) {
+	return e.compute(p, p.Key(nil))
 }
 
 // TestTime returns the SOC test time for configuration p in cycles.
@@ -56,6 +157,56 @@ func (e *Evaluator) TestTime(p partition.Partition) (int64, error) {
 		return 0, err
 	}
 	return s.Makespan, nil
+}
+
+// DigitalJobs builds the TAM jobs of the design's digital cores: one
+// flexible job per core carrying its wrapper staircase (Pareto widths up
+// to the TAM width). The result is independent of the analog sharing
+// configuration.
+func DigitalJobs(d *Design, width int) ([]*tam.Job, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("core: TAM width %d < 1", width)
+	}
+	var jobs []*tam.Job
+	for _, m := range d.Digital.Cores() {
+		pts, err := wrapper.Pareto(m, width)
+		if err != nil {
+			return nil, err
+		}
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("module%d", m.ID)
+		}
+		jobs = append(jobs, &tam.Job{ID: name, Options: pts})
+	}
+	return jobs, nil
+}
+
+// appendAnalogJobs returns a new job slice extending digital with one
+// fixed job per analog test, tagged with the serialization group of the
+// wrapper that serves its core under partition p. digital is not
+// modified.
+func appendAnalogJobs(digital []*tam.Job, d *Design, p partition.Partition) ([]*tam.Job, error) {
+	if p.N() != len(d.Analog) {
+		return nil, fmt.Errorf("core: partition covers %d cores, design has %d", p.N(), len(d.Analog))
+	}
+	jobs := make([]*tam.Job, len(digital), len(digital)+4*len(d.Analog))
+	copy(jobs, digital)
+	for gi, g := range p {
+		group := fmt.Sprintf("wrapper%d", gi)
+		for _, ci := range g {
+			c := d.Analog[ci]
+			for ti := range c.Tests {
+				t := &c.Tests[ti]
+				jobs = append(jobs, &tam.Job{
+					ID:      fmt.Sprintf("%s/%s", c.Name, t.Name),
+					Options: []wrapper.Point{{Width: t.TAMWidth, Time: t.Cycles}},
+					Group:   group,
+				})
+			}
+		}
+	}
+	return jobs, nil
 }
 
 // Evaluation is the full costing of one sharing configuration.

@@ -34,6 +34,16 @@ type Planner struct {
 	// is what keeps NEval near 10 of 26; it is heuristic, exactly as the
 	// paper's results table shows (optimal "in all but one case").
 	PrunePrelim bool
+	// Workers bounds the TAM-evaluation concurrency; 0 means one worker
+	// per available CPU (DefaultWorkers). With more than one worker the
+	// planner prefetches schedules in parallel and then replays the
+	// paper's algorithm sequentially over the warmed cache, so the
+	// Result — including NEval — is identical to a single-worker run.
+	Workers int
+	// Cache, when non-nil, backs the planner's evaluator with a shared
+	// schedule store (see ScheduleCache). It must belong to the same
+	// design and width.
+	Cache *ScheduleCache
 }
 
 // NewPlanner returns a planner with the defaults used by the paper's
@@ -89,6 +99,17 @@ func (pl *Planner) defaults() (analog.CostModel, partition.Policy, error) {
 	return cm, policy, nil
 }
 
+func (pl *Planner) workers() int {
+	if pl.Workers > 0 {
+		return pl.Workers
+	}
+	return DefaultWorkers()
+}
+
+func (pl *Planner) evaluator() *Evaluator {
+	return NewSharedEvaluator(pl.Design, pl.Width, pl.Cache)
+}
+
 // evalAt completes an Evaluation for p given the all-share time.
 func (pl *Planner) evalAt(e *Evaluator, cm analog.CostModel, p partition.Partition, allShare int64) (Evaluation, error) {
 	ca, ltb, err := costParts(pl.Design, cm, p)
@@ -110,33 +131,66 @@ func (pl *Planner) evalAt(e *Evaluator, cm analog.CostModel, p partition.Partiti
 	}, nil
 }
 
+// feasibleCandidates splits the candidate set by the cost model's
+// feasibility rule, preserving order.
+func feasibleCandidates(cm analog.CostModel, d *Design, cands []partition.Partition) (feasible []partition.Partition, rejected int, err error) {
+	feasible = make([]partition.Partition, 0, len(cands))
+	for _, p := range cands {
+		skip, err := infeasible(cm, d, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		if skip {
+			rejected++
+			continue
+		}
+		feasible = append(feasible, p)
+	}
+	return feasible, rejected, nil
+}
+
 // Exhaustive evaluates every candidate configuration with the TAM
 // optimizer and returns the cheapest. It is the paper's baseline: always
 // optimal with respect to the candidate set, at NEval = |candidates|.
+// With more than one worker the TAM runs are fanned across the pool and
+// the results merged in candidate order, so the Result is identical to a
+// sequential run.
 func (pl *Planner) Exhaustive() (*Result, error) {
 	cm, policy, err := pl.defaults()
 	if err != nil {
 		return nil, err
 	}
-	e := NewEvaluator(pl.Design, pl.Width)
+	e := pl.evaluator()
 	cands := pl.Design.Candidates(policy)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: policy admits no candidate configurations")
 	}
+	feasible, rejected, err := feasibleCandidates(cm, pl.Design, cands)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm the cache in parallel: the all-share normalization point plus
+	// every feasible candidate. Errors surface in the replay below.
+	if pl.workers() > 1 {
+		allShareP := pl.Design.AllShare()
+		forEach(len(feasible)+1, pl.workers(), func(i int) {
+			if i == 0 {
+				e.Prefetch(allShareP)
+				return
+			}
+			e.Prefetch(feasible[i-1])
+		})
+	}
+
 	allShare, err := e.TestTime(pl.Design.AllShare())
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Method: "exhaustive", Candidates: len(cands), AllShare: allShare}
+	res := &Result{Method: "exhaustive", Candidates: len(cands), Infeasible: rejected, AllShare: allShare}
 	best := -1
-	for _, p := range cands {
-		if skip, err := infeasible(cm, pl.Design, p); err != nil {
-			return nil, err
-		} else if skip {
-			res.Infeasible++
-			continue
-		}
+	for _, p := range feasible {
 		ev, err := pl.evalAt(e, cm, p, allShare)
 		if err != nil {
 			return nil, err
@@ -194,12 +248,20 @@ type candidate struct {
 //  5. TAM-evaluate the remaining members of surviving buckets (skipping
 //     members whose preliminary cost cannot beat the incumbent when
 //     PrunePrelim is set) and return the overall cheapest.
+//
+// With more than one worker, the representative evaluations run in
+// parallel, and the surviving members are prefetched speculatively under
+// an atomically shared incumbent bound; the algorithm then replays
+// sequentially over the warmed cache, so the Result — NEval, Evaluated
+// order, everything — is identical to a single-worker run (speculative
+// prefetches that the sequential algorithm would have pruned are never
+// accounted).
 func (pl *Planner) CostOptimizer() (*Result, error) {
 	cm, policy, err := pl.defaults()
 	if err != nil {
 		return nil, err
 	}
-	e := NewEvaluator(pl.Design, pl.Width)
+	e := pl.evaluator()
 	cands := pl.Design.Candidates(policy)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: policy admits no candidate configurations")
@@ -247,6 +309,20 @@ func (pl *Planner) CostOptimizer() (*Result, error) {
 		return nil, fmt.Errorf("core: every candidate configuration is infeasible")
 	}
 
+	// Warm the cache with the normalization point and every bucket
+	// representative in parallel; the replay below accounts them.
+	workers := pl.workers()
+	if workers > 1 {
+		allShareP := pl.Design.AllShare()
+		forEach(len(groups)+1, workers, func(i int) {
+			if i == 0 {
+				e.Prefetch(allShareP)
+				return
+			}
+			e.Prefetch(groups[i-1].members[0].p)
+		})
+	}
+
 	// The all-share time normalizes CT; the all-share configuration is
 	// the single member of the 1-wrapper bucket under the paper's policy,
 	// so this evaluation is reused below via the cache.
@@ -281,6 +357,34 @@ func (pl *Planner) CostOptimizer() (*Result, error) {
 		if r.ev.Cost < best.Cost {
 			best = r.ev
 		}
+	}
+
+	// Speculatively prefetch the surviving members in parallel. The
+	// shared incumbent bound tightens as speculative costs come back, so
+	// members that cannot win are skipped without ever packing them; the
+	// sequential replay below is the sole authority on which evaluations
+	// the algorithm performs (and hence on NEval).
+	if workers > 1 {
+		var spec []candidate
+		for _, r := range reps {
+			if r.ev.Cost > bestRep+pl.Epsilon {
+				continue
+			}
+			spec = append(spec, r.g.members[1:]...)
+		}
+		bound := newIncumbent(best.Cost)
+		forEach(len(spec), workers, func(i int) {
+			m := spec[i]
+			if pl.PrunePrelim && m.prelim >= bound.load() {
+				return
+			}
+			s, err := e.scheduleUncounted(m.p)
+			if err != nil {
+				return // the replay reports it deterministically
+			}
+			ct := 100 * float64(s.Makespan) / float64(allShare)
+			bound.lower(pl.Weights.Time*ct + pl.Weights.Area*m.ca)
+		})
 	}
 
 	// Lines 14-18: eliminate buckets, then fully evaluate survivors.

@@ -17,31 +17,52 @@ type SweepPoint struct {
 // settings — the cost surface the paper's Table 4 explores. With
 // exhaustive set, every point is solved optimally; otherwise the
 // Cost_Optimizer heuristic runs. The configure hook (optional) adjusts
-// each planner before it runs, e.g. to change the cost model.
+// each planner before it runs, e.g. to change the cost model; it must
+// not change the planner's Design or Width (grid points at one width
+// share a schedule cache) and must be safe to call concurrently.
+//
+// The grid points fan out across the worker pool, and points at the
+// same TAM width share one schedule cache (test schedules do not depend
+// on the cost weights), so no configuration is ever packed twice. The
+// returned slice is ordered weights-major exactly as a sequential sweep.
 func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configure func(*Planner)) ([]SweepPoint, error) {
 	if len(widths) == 0 || len(weights) == 0 {
 		return nil, fmt.Errorf("core: sweep needs at least one width and one weight setting")
 	}
-	var out []SweepPoint
-	for _, wt := range weights {
-		for _, w := range widths {
-			pl := NewPlanner(d, w, wt)
-			if configure != nil {
-				configure(pl)
-			}
-			var (
-				res *Result
-				err error
-			)
-			if exhaustive {
-				res, err = pl.Exhaustive()
-			} else {
-				res, err = pl.CostOptimizer()
-			}
-			if err != nil {
-				return nil, fmt.Errorf("core: sweep W=%d wT=%.2f: %w", w, wt.Time, err)
-			}
-			out = append(out, SweepPoint{Width: w, Weights: wt, Result: res})
+	caches := make(map[int]*ScheduleCache, len(widths))
+	for _, w := range widths {
+		caches[w] = NewScheduleCache()
+	}
+	out := make([]SweepPoint, len(weights)*len(widths))
+	errs := make([]error, len(out))
+	outer, inner := SplitWorkers(DefaultWorkers(), len(out))
+	forEach(len(out), outer, func(i int) {
+		wt := weights[i/len(widths)]
+		w := widths[i%len(widths)]
+		pl := NewPlanner(d, w, wt)
+		pl.Cache = caches[w]
+		pl.Workers = inner
+		if configure != nil {
+			configure(pl)
+		}
+		var (
+			res *Result
+			err error
+		)
+		if exhaustive {
+			res, err = pl.Exhaustive()
+		} else {
+			res, err = pl.CostOptimizer()
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("core: sweep W=%d wT=%.2f: %w", w, wt.Time, err)
+			return
+		}
+		out[i] = SweepPoint{Width: w, Weights: wt, Result: res}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -28,7 +28,11 @@ type Table3Result struct {
 }
 
 // Table3 runs the TAM optimizer for every candidate combination at every
-// width and normalizes test times to the all-share case per width.
+// width and normalizes test times to the all-share case per width. The
+// width columns are independent, so they are generated concurrently —
+// and within each column the combination schedules are prefetched across
+// the worker pool — with results merged by index, making the table
+// identical to a sequential run.
 func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 	if d == nil {
 		d = Design()
@@ -42,25 +46,40 @@ func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 	res := &Table3Result{Widths: widths}
 	rows := make([]Table3Row, len(combos))
 	for i, p := range combos {
-		rows[i] = Table3Row{Wrappers: p.Wrappers(), Label: p.FormatShared(names)}
+		rows[i] = Table3Row{Wrappers: p.Wrappers(), Label: p.FormatShared(names), CT: make([]float64, len(widths))}
 	}
 
 	res.Spread = make([]float64, len(widths))
 	res.Lowest = make([]string, len(widths))
-	for wi, w := range widths {
+	errs := make([]error, len(widths))
+	outer, inner := core.SplitWorkers(core.DefaultWorkers(), len(widths))
+	core.ForEach(len(widths), outer, func(wi int) {
+		w := widths[wi]
 		ev := core.NewEvaluator(d, w)
+		if inner > 1 {
+			allShareP := d.AllShare()
+			core.ForEach(len(combos)+1, inner, func(i int) {
+				if i == 0 {
+					ev.Prefetch(allShareP)
+					return
+				}
+				ev.Prefetch(combos[i-1])
+			})
+		}
 		allShare, err := ev.TestTime(d.AllShare())
 		if err != nil {
-			return nil, err
+			errs[wi] = err
+			return
 		}
 		low, high := -1.0, -1.0
 		for i, p := range combos {
 			t, err := ev.TestTime(p)
 			if err != nil {
-				return nil, err
+				errs[wi] = err
+				return
 			}
 			ct := 100 * float64(t) / float64(allShare)
-			rows[i].CT = append(rows[i].CT, ct)
+			rows[i].CT[wi] = ct
 			if low < 0 || ct < low {
 				low = ct
 				res.Lowest[wi] = rows[i].Label
@@ -70,6 +89,11 @@ func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 			}
 		}
 		res.Spread[wi] = high - low
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sort.Slice(rows, func(a, b int) bool {

@@ -34,7 +34,12 @@ type Table4Result struct {
 }
 
 // Table4 runs both solvers across the width sweep for each weight
-// setting.
+// setting. The grid cells fan out across the worker pool, and all cells
+// at one TAM width — across weight settings, and between the exhaustive
+// and heuristic solver of a cell — share one schedule cache, since test
+// schedules depend only on the width and the sharing configuration.
+// Cells are merged weights-major by index, so the table (costs, NEval,
+// selections) is identical to a sequential run.
 func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result, error) {
 	if d == nil {
 		d = Design()
@@ -47,31 +52,47 @@ func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result
 	}
 	names := d.AnalogNames()
 	res := &Table4Result{Widths: widths, Weights: weights}
-	for _, wt := range weights {
-		for _, w := range widths {
-			pl := core.NewPlanner(d, w, wt)
-			pl.CostModel = analog.PaperCostModel()
-			ex, err := pl.Exhaustive()
-			if err != nil {
-				return nil, err
-			}
-			h, err := pl.CostOptimizer()
-			if err != nil {
-				return nil, err
-			}
-			cell := Table4Cell{
-				Width:            w,
-				Weights:          wt,
-				ExhaustiveCost:   ex.Best.Cost,
-				ExhaustiveNEval:  ex.NEval,
-				ExhaustiveSel:    ex.Best.Label(names),
-				HeuristicCost:    h.Best.Cost,
-				HeuristicNEval:   h.NEval,
-				HeuristicSel:     h.Best.Label(names),
-				ReductionPercent: h.ReductionPercent(),
-				Optimal:          h.Best.Cost <= ex.Best.Cost+1e-9,
-			}
-			res.Cells = append(res.Cells, cell)
+
+	caches := make(map[int]*core.ScheduleCache, len(widths))
+	for _, w := range widths {
+		caches[w] = core.NewScheduleCache()
+	}
+	res.Cells = make([]Table4Cell, len(weights)*len(widths))
+	errs := make([]error, len(res.Cells))
+	outer, inner := core.SplitWorkers(core.DefaultWorkers(), len(res.Cells))
+	core.ForEach(len(res.Cells), outer, func(i int) {
+		wt := weights[i/len(widths)]
+		w := widths[i%len(widths)]
+		pl := core.NewPlanner(d, w, wt)
+		pl.CostModel = analog.PaperCostModel()
+		pl.Cache = caches[w]
+		pl.Workers = inner
+		ex, err := pl.Exhaustive()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		h, err := pl.CostOptimizer()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Cells[i] = Table4Cell{
+			Width:            w,
+			Weights:          wt,
+			ExhaustiveCost:   ex.Best.Cost,
+			ExhaustiveNEval:  ex.NEval,
+			ExhaustiveSel:    ex.Best.Label(names),
+			HeuristicCost:    h.Best.Cost,
+			HeuristicNEval:   h.NEval,
+			HeuristicSel:     h.Best.Label(names),
+			ReductionPercent: h.ReductionPercent(),
+			Optimal:          h.Best.Cost <= ex.Best.Cost+1e-9,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

@@ -1,0 +1,195 @@
+package tam
+
+import (
+	"cmp"
+	"slices"
+
+	"mixsoc/internal/wrapper"
+)
+
+// fitter answers earliest-fit queries against a schedule's placements
+// with a single time sweep per query instead of the per-candidate full
+// rescans of the naive formulation. One fitter serves one packing
+// goroutine: it owns reusable scratch buffers (candidate start times,
+// start/end-sorted placement indices, and a per-wire occupancy profile)
+// so steady-state queries allocate nothing. The per-job width options
+// (the Pareto staircase, or the full staircase under
+// WithFullStaircase) are precomputed once per Optimize call and shared
+// read-only between fitters.
+type fitter struct {
+	binWidth int
+	cfg      config
+
+	// opts maps each job to its candidate width options, precomputed by
+	// newOptionTable. Read-only after construction; safe to share.
+	opts map[*Job][]wrapper.Point
+
+	// Scratch buffers, reused across queries.
+	cands   []int64 // candidate start times
+	byStart []int32 // placement indices ordered by Start
+	byEnd   []int32 // placement indices ordered by End
+	occ     []int32 // occupancy count per wire during the sweep window
+}
+
+// newOptionTable precomputes the width options the packer will try for
+// every job, so placement loops never re-derive (and re-allocate) the
+// usable staircase.
+func newOptionTable(jobs []*Job, binWidth int, cfg config) map[*Job][]wrapper.Point {
+	opts := make(map[*Job][]wrapper.Point, len(jobs))
+	for _, j := range jobs {
+		opts[j] = candidateWidths(j, binWidth, cfg)
+	}
+	return opts
+}
+
+func newFitter(opts map[*Job][]wrapper.Point, binWidth int, cfg config) *fitter {
+	return &fitter{
+		binWidth: binWidth,
+		cfg:      cfg,
+		opts:     opts,
+		occ:      make([]int32, binWidth),
+	}
+}
+
+// fork returns a fitter sharing the read-only option table but owning
+// fresh scratch buffers, for use by a concurrent packing goroutine.
+func (f *fitter) fork() *fitter { return newFitter(f.opts, f.binWidth, f.cfg) }
+
+// prepare (re)builds the start- and end-sorted placement index orders
+// the sweep cursors walk. The orders do not depend on the queried
+// rectangle, so bestPlacement builds them once and reuses them across
+// every width option of a job; they must be rebuilt whenever the
+// placements slice changes.
+func (f *fitter) prepare(placements []Placement) {
+	byStart := f.byStart[:0]
+	byEnd := f.byEnd[:0]
+	for i := 0; i < len(placements); i++ {
+		byStart = append(byStart, int32(i))
+		byEnd = append(byEnd, int32(i))
+	}
+	slices.SortFunc(byStart, func(a, b int32) int {
+		return cmp.Compare(placements[a].Start, placements[b].Start)
+	})
+	slices.SortFunc(byEnd, func(a, b int32) int {
+		return cmp.Compare(placements[a].End, placements[b].End)
+	})
+	f.byStart, f.byEnd = byStart, byEnd
+}
+
+// earliestFit returns the earliest start time (and lowest wire band) at
+// which a w×dur rectangle for job j fits among the placements: no wire
+// conflicts and no time overlap with j's serialization group. The
+// caller must have called prepare on the same placements slice.
+//
+// Candidate starts are 0, the ends of placed rectangles, and their
+// starts minus dur (a window can also become feasible right before a
+// rectangle begins) — the same candidate set as a full rescan, so the
+// result is identical. The candidates are visited in ascending order
+// while two monotone cursors maintain the set of placements overlapping
+// the moving window [t, t+dur) as a per-wire occupancy profile plus a
+// count of active same-group placements, making each candidate check
+// O(1) for the group constraint and O(binWidth) for the band scan.
+func (f *fitter) earliestFit(j *Job, w int, dur int64, placements []Placement) (int64, int, bool) {
+	n := len(placements)
+
+	cands := f.cands[:0]
+	cands = append(cands, 0)
+	for i := range placements {
+		p := &placements[i]
+		cands = append(cands, p.End)
+		if t := p.Start - dur; t > 0 {
+			cands = append(cands, t)
+		}
+	}
+	slices.Sort(cands)
+	f.cands = cands
+
+	byStart, byEnd := f.byStart, f.byEnd
+
+	occ := f.occ[:f.binWidth]
+	clear(occ)
+	groupActive := 0
+	si, ei := 0, 0
+	prev := int64(-1)
+	for _, t := range cands {
+		if t == prev {
+			continue
+		}
+		prev = t
+		// Admit placements entering the window: Start < t+dur. A
+		// placement that also already ended (End <= t) is retired by the
+		// second cursor in the same step, so the profile stays exact.
+		for si < n && placements[byStart[si]].Start < t+dur {
+			p := &placements[byStart[si]]
+			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+				occ[wire]++
+			}
+			if j.Group != "" && p.Job.Group == j.Group {
+				groupActive++
+			}
+			si++
+		}
+		for ei < n && placements[byEnd[ei]].End <= t {
+			p := &placements[byEnd[ei]]
+			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+				occ[wire]--
+			}
+			if j.Group != "" && p.Job.Group == j.Group {
+				groupActive--
+			}
+			ei++
+		}
+		if groupActive > 0 {
+			continue
+		}
+		// Lowest contiguous band of w free wires in the profile.
+		run := 0
+		for wire := 0; wire < f.binWidth; wire++ {
+			if occ[wire] != 0 {
+				run = 0
+				continue
+			}
+			run++
+			if run >= w {
+				return t, wire - w + 1, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// bestPlacement finds the placement of j minimizing (end, width, start,
+// wire) against the current placements.
+func (f *fitter) bestPlacement(j *Job, placements []Placement) (Placement, bool) {
+	var best Placement
+	found := false
+	better := func(p Placement) bool {
+		if !found {
+			return true
+		}
+		if p.End != best.End {
+			return p.End < best.End
+		}
+		if p.Width != best.Width {
+			return p.Width < best.Width
+		}
+		if p.Start != best.Start {
+			return p.Start < best.Start
+		}
+		return p.WireLo < best.WireLo
+	}
+
+	f.prepare(placements)
+	for _, opt := range f.opts[j] {
+		t, wireLo, ok := f.earliestFit(j, opt.Width, opt.Time, placements)
+		if !ok {
+			continue
+		}
+		p := Placement{Job: j, Width: opt.Width, Start: t, End: t + opt.Time, WireLo: wireLo}
+		if better(p) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -3,6 +3,7 @@ package tam
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mixsoc/internal/wrapper"
 )
@@ -35,6 +36,11 @@ func WithFullStaircase() Option {
 // position and width option minimizing its finish time (preferring
 // narrower widths on ties), and a bounded improvement loop then re-places
 // the jobs that define the makespan, letting them widen into idle wires.
+//
+// The three complementary packing orderings are independent, so they run
+// concurrently; the winner is chosen deterministically (smallest
+// makespan, first ordering on ties), making the result identical to a
+// sequential evaluation.
 func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 	cfg := config{improvePasses: len(jobs), paretoOnly: true}
 	for _, o := range opts {
@@ -69,53 +75,71 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 			groupTotal[j.Group] += j.minTime(width)
 		}
 	}
-	prefTime := func(j *Job) int64 {
-		return timeFor(j, preferredWidth(j, width, target))
+	// Per-job sort keys, precomputed so the ordering comparators do no
+	// staircase walks (and no allocations) inside sort.
+	prefTimes := make(map[*Job]int64, len(jobs))
+	volumes := make(map[*Job]int64, len(jobs))
+	for _, j := range jobs {
+		prefTimes[j] = timeFor(j, preferredWidth(j, width, target))
+		volumes[j] = j.volume(width)
 	}
 	chainWeight := func(j *Job) int64 {
 		if j.Group != "" {
 			return groupTotal[j.Group]
 		}
-		return prefTime(j)
+		return prefTimes[j]
 	}
 
 	// Greedy list scheduling is sensitive to the job order; pack with a
 	// few complementary orderings and keep the best schedule. All
 	// orderings share deterministic tie-breaking by ID.
-	orderings := []func(a, b *Job) (int64, int64){
-		func(a, b *Job) (int64, int64) { return chainWeight(a), chainWeight(b) },
-		func(a, b *Job) (int64, int64) { return prefTime(a), prefTime(b) },
-		func(a, b *Job) (int64, int64) { return a.volume(width), b.volume(width) },
+	orderings := []func(j *Job) int64{
+		chainWeight,
+		func(j *Job) int64 { return prefTimes[j] },
+		func(j *Job) int64 { return volumes[j] },
 	}
+
+	shared := newFitter(newOptionTable(jobs, width, cfg), width, cfg)
+
+	results := make([]*Schedule, len(orderings))
+	errs := make([]error, len(orderings))
+	var wg sync.WaitGroup
+	for oi, key := range orderings {
+		wg.Add(1)
+		go func(oi int, key func(j *Job) int64) {
+			defer wg.Done()
+			order := append([]*Job(nil), jobs...)
+			sort.Slice(order, func(a, b int) bool {
+				ka, kb := key(order[a]), key(order[b])
+				if ka != kb {
+					return ka > kb
+				}
+				ta, tb := prefTimes[order[a]], prefTimes[order[b]]
+				if ta != tb {
+					return ta > tb
+				}
+				return order[a].ID < order[b].ID
+			})
+			results[oi], errs[oi] = packList(order, shared.fork())
+		}(oi, key)
+	}
+	wg.Wait()
 
 	var best *Schedule
-	for _, key := range orderings {
-		order := append([]*Job(nil), jobs...)
-		sort.Slice(order, func(a, b int) bool {
-			ka, kb := key(order[a], order[b])
-			if ka != kb {
-				return ka > kb
-			}
-			ta, tb := prefTime(order[a]), prefTime(order[b])
-			if ta != tb {
-				return ta > tb
-			}
-			return order[a].ID < order[b].ID
-		})
-		s, err := packList(order, width, cfg)
-		if err != nil {
-			return nil, err
+	for oi := range results {
+		if errs[oi] != nil {
+			return nil, errs[oi]
 		}
-		if best == nil || s.Makespan < best.Makespan {
-			best = s
+		if best == nil || results[oi].Makespan < best.Makespan {
+			best = results[oi]
 		}
 	}
 
-	// Polish only the winning schedule: repack is quadratic in the job
-	// count, so running it per ordering buys little for its cost.
+	// Polish only the winning schedule: repack re-places every job, so
+	// running it per ordering buys little for its cost.
 	if cfg.improvePasses > 0 {
-		repack(best, width, cfg)
-		improve(best, width, cfg)
+		repack(best, shared)
+		improve(best, shared)
 	}
 
 	if err := best.Validate(); err != nil {
@@ -125,11 +149,12 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 }
 
 // packList packs the jobs in the given order and runs the improvement
-// loops.
-func packList(order []*Job, width int, cfg config) (*Schedule, error) {
-	s := &Schedule{Width: width}
+// loop.
+func packList(order []*Job, f *fitter) (*Schedule, error) {
+	s := &Schedule{Width: f.binWidth}
+	s.Placements = make([]Placement, 0, len(order))
 	for _, j := range order {
-		p, ok := bestPlacement(j, s, width, cfg)
+		p, ok := f.bestPlacement(j, s.Placements)
 		if !ok {
 			return nil, fmt.Errorf("tam: could not place job %s", j.ID)
 		}
@@ -138,28 +163,44 @@ func packList(order []*Job, width int, cfg config) (*Schedule, error) {
 			s.Makespan = p.End
 		}
 	}
-	improve(s, width, cfg)
+	improve(s, f)
 	return s, nil
 }
 
-// repack removes and re-places every job once, latest-finishing first.
-// A re-placed job can always return to its old slot, so each step is
-// monotone: the makespan never increases.
-func repack(s *Schedule, width int, cfg config) {
-	sort.Slice(s.Placements, func(a, b int) bool {
-		if s.Placements[a].End != s.Placements[b].End {
-			return s.Placements[a].End > s.Placements[b].End
+// repack removes and re-places every job once, always picking the
+// latest-finishing job not yet processed — the order is re-derived as
+// ends move, rather than frozen by an up-front sort, so earlier moves
+// inform later choices and every re-placement is checked against the
+// live schedule (including its serialization groups). A re-placed job
+// can always return to its old slot, so each step is monotone: neither
+// the job's end nor the makespan ever increases.
+func repack(s *Schedule, f *fitter) {
+	done := make(map[*Job]bool, len(s.Placements))
+	for {
+		worst := -1
+		for i := range s.Placements {
+			p := &s.Placements[i]
+			if done[p.Job] {
+				continue
+			}
+			if worst < 0 || p.End > s.Placements[worst].End ||
+				(p.End == s.Placements[worst].End && p.Job.ID < s.Placements[worst].Job.ID) {
+				worst = i
+			}
 		}
-		return s.Placements[a].Job.ID < s.Placements[b].Job.ID
-	})
-	for i := 0; i < len(s.Placements); i++ {
-		removed := s.Placements[i]
-		rest := append(s.Placements[:i:i], s.Placements[i+1:]...)
-		tmp := &Schedule{Width: width, Placements: rest}
-		p, ok := bestPlacement(removed.Job, tmp, width, cfg)
-		if ok && p.End <= removed.End {
-			s.Placements[i] = p
+		if worst < 0 {
+			break
 		}
+		removed := s.Placements[worst]
+		done[removed.Job] = true
+		last := len(s.Placements) - 1
+		s.Placements[worst] = s.Placements[last]
+		s.Placements = s.Placements[:last]
+		p, ok := f.bestPlacement(removed.Job, s.Placements)
+		if !ok || p.End > removed.End {
+			p = removed
+		}
+		s.Placements = append(s.Placements, p)
 	}
 	s.Makespan = 0
 	for i := range s.Placements {
@@ -195,140 +236,51 @@ func candidateWidths(j *Job, binWidth int, cfg config) []wrapper.Point {
 	return out
 }
 
-// bestPlacement finds the placement of j minimizing (end, width, start,
-// wire) against the current schedule.
-func bestPlacement(j *Job, s *Schedule, binWidth int, cfg config) (Placement, bool) {
-	var best Placement
-	found := false
-	better := func(p Placement) bool {
-		if !found {
-			return true
-		}
-		if p.End != best.End {
-			return p.End < best.End
-		}
-		if p.Width != best.Width {
-			return p.Width < best.Width
-		}
-		if p.Start != best.Start {
-			return p.Start < best.Start
-		}
-		return p.WireLo < best.WireLo
-	}
-
-	for _, opt := range candidateWidths(j, binWidth, cfg) {
-		t, wireLo, ok := earliestFit(j, opt.Width, opt.Time, s, binWidth)
-		if !ok {
-			continue
-		}
-		p := Placement{Job: j, Width: opt.Width, Start: t, End: t + opt.Time, WireLo: wireLo}
-		if better(p) {
-			best = p
-			found = true
-		}
-	}
-	return best, found
-}
-
-// earliestFit returns the earliest start time (and lowest wire band) at
-// which a w×dur rectangle for job j fits: no wire conflicts and no time
-// overlap with j's serialization group.
-func earliestFit(j *Job, w int, dur int64, s *Schedule, binWidth int) (int64, int, bool) {
-	// Candidate starts: 0, ends of placed rectangles, and starts-dur
-	// (a window can also become feasible right before a rectangle begins).
-	cands := make([]int64, 0, 2*len(s.Placements)+1)
-	cands = append(cands, 0)
-	for i := range s.Placements {
-		p := &s.Placements[i]
-		cands = append(cands, p.End)
-		if t := p.Start - dur; t > 0 {
-			cands = append(cands, t)
-		}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
-
-	prev := int64(-1)
-	for _, t := range cands {
-		if t == prev {
-			continue
-		}
-		prev = t
-		if j.Group != "" && groupConflict(j, t, t+dur, s) {
-			continue
-		}
-		if lo, ok := lowestFreeBand(t, t+dur, w, s, binWidth); ok {
-			return t, lo, true
-		}
-	}
-	return 0, 0, false
-}
-
-func groupConflict(j *Job, start, end int64, s *Schedule) bool {
-	for i := range s.Placements {
-		p := &s.Placements[i]
-		if p.Job.Group == j.Group && p.Start < end && start < p.End {
-			return true
-		}
-	}
-	return false
-}
-
-// lowestFreeBand finds the lowest contiguous band of w wires free during
-// [start, end).
-func lowestFreeBand(start, end int64, w int, s *Schedule, binWidth int) (int, bool) {
-	// Collect wire intervals of rectangles overlapping the time window,
-	// sorted by WireLo, then sweep for a gap of size w.
-	type span struct{ lo, hi int }
-	var busy []span
-	for i := range s.Placements {
-		p := &s.Placements[i]
-		if p.Start < end && start < p.End {
-			busy = append(busy, span{p.WireLo, p.WireLo + p.Width})
-		}
-	}
-	sort.Slice(busy, func(a, b int) bool { return busy[a].lo < busy[b].lo })
-
-	cur := 0 // lowest candidate wire
-	for _, b := range busy {
-		if b.lo-cur >= w {
-			return cur, true
-		}
-		if b.hi > cur {
-			cur = b.hi
-		}
-	}
-	if binWidth-cur >= w {
-		return cur, true
-	}
-	return 0, false
-}
-
-// improve repeatedly re-places a job that defines the makespan, allowing
-// it to widen into idle wires or move, keeping any strict improvement.
-func improve(s *Schedule, binWidth int, cfg config) {
-	for pass := 0; pass < cfg.improvePasses; pass++ {
-		// The placement that ends last (stable choice on ties).
-		worst := -1
-		for i := range s.Placements {
-			if s.Placements[i].End == s.Makespan {
+// improve repeatedly re-places the jobs that define the makespan,
+// allowing them to widen into idle wires or move, keeping any strict
+// improvement. When one makespan-defining job cannot be improved the
+// loop moves on to the next one instead of giving up — moving the others
+// frees wires and windows that can unstick it on a later pass — and only
+// stops once a whole pass leaves every makespan-defining job in place.
+func improve(s *Schedule, f *fitter) {
+	tried := make(map[*Job]bool)
+	for pass := 0; pass < f.cfg.improvePasses; pass++ {
+		clear(tried)
+		moved := false
+		for {
+			// The next makespan-defining placement not yet tried this
+			// pass (stable choice by ID).
+			worst := -1
+			for i := range s.Placements {
+				if s.Placements[i].End != s.Makespan || tried[s.Placements[i].Job] {
+					continue
+				}
 				if worst < 0 || s.Placements[i].Job.ID < s.Placements[worst].Job.ID {
 					worst = i
 				}
 			}
-		}
-		if worst < 0 {
-			return
-		}
-		removed := s.Placements[worst]
-		s.Placements = append(s.Placements[:worst], s.Placements[worst+1:]...)
+			if worst < 0 {
+				break
+			}
+			removed := s.Placements[worst]
+			tried[removed.Job] = true
+			last := len(s.Placements) - 1
+			s.Placements[worst] = s.Placements[last]
+			s.Placements = s.Placements[:last]
 
-		p, ok := bestPlacement(removed.Job, s, binWidth, cfg)
-		if !ok || p.End >= s.Makespan {
-			// No strict improvement: restore and stop.
-			s.Placements = append(s.Placements, removed)
+			p, ok := f.bestPlacement(removed.Job, s.Placements)
+			if !ok || p.End >= s.Makespan {
+				// No strict improvement for this job: restore it and try
+				// the next makespan-defining job.
+				p = removed
+			} else {
+				moved = true
+			}
+			s.Placements = append(s.Placements, p)
+		}
+		if !moved {
 			return
 		}
-		s.Placements = append(s.Placements, p)
 		s.Makespan = 0
 		for i := range s.Placements {
 			if s.Placements[i].End > s.Makespan {

@@ -1,0 +1,64 @@
+package wrapper
+
+import (
+	"testing"
+
+	"mixsoc/internal/itc02"
+)
+
+// The allocation-free staircase path (timeWith / waterFillMax) must
+// reproduce the reference design computation exactly for every module
+// and width — Pareto and BestTime are defined in terms of New.
+func TestFastTimeMatchesDesign(t *testing.T) {
+	for _, m := range itc02.P93791().Cores() {
+		buf := newDesignBuf(m, 64)
+		for w := 1; w <= 64; w++ {
+			ref, err := Time(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := timeWith(m, w, buf); got != ref {
+				t.Fatalf("module %d width %d: timeWith = %d, Time = %d", m.ID, w, got, ref)
+			}
+		}
+	}
+}
+
+// waterFillMax must agree with the max of the materialized waterFill for
+// adversarial small cases (remainder spreads, zero cells, single bin).
+func TestWaterFillMaxMatchesWaterFill(t *testing.T) {
+	cases := []struct {
+		base  []int
+		cells int
+	}{
+		{[]int{0}, 0},
+		{[]int{0}, 7},
+		{[]int{5, 0, 0}, 4},
+		{[]int{5, 0, 0}, 11},
+		{[]int{3, 3, 3}, 2},
+		{[]int{10, 1, 4, 4}, 9},
+		{[]int{10, 1, 4, 4}, 50},
+		{[]int{2, 9, 2, 9, 2}, 13},
+	}
+	for _, c := range cases {
+		full := waterFill(c.base, c.cells, len(c.base))
+		want := maxOf(full)
+		lv := make([]int, len(c.base))
+		if got := waterFillMax(c.base, c.cells, lv); got != want {
+			t.Errorf("waterFillMax(%v, %d) = %d, want %d (filled %v)", c.base, c.cells, got, want, full)
+		}
+	}
+}
+
+func BenchmarkParetoP93791(b *testing.B) {
+	soc := itc02.P93791()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range soc.Cores() {
+			if _, err := Pareto(m, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -18,15 +18,16 @@ type Point struct {
 // use fewer, BestTime is non-increasing in w by construction, which
 // smooths out any partitioning-heuristic anomalies.
 func BestTime(m *itc02.Module, w int) (int64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("wrapper: nil module")
+	}
 	if w < 1 {
 		return 0, fmt.Errorf("wrapper: module %d: width %d < 1", m.ID, w)
 	}
+	buf := newDesignBuf(m, w)
 	best := int64(-1)
 	for wi := 1; wi <= w; wi++ {
-		t, err := Time(m, wi)
-		if err != nil {
-			return 0, err
-		}
+		t := timeWith(m, wi, buf)
 		if best < 0 || t < best {
 			best = t
 		}
@@ -40,16 +41,19 @@ func BestTime(m *itc02.Module, w int) (int64, error) {
 // strictly decreasing. Schedulers should only consider these widths; any
 // other width wastes TAM wires without reducing time.
 func Pareto(m *itc02.Module, maxW int) ([]Point, error) {
+	if m == nil {
+		return nil, fmt.Errorf("wrapper: nil module")
+	}
 	if maxW < 1 {
 		return nil, fmt.Errorf("wrapper: module %d: maxW %d < 1", m.ID, maxW)
 	}
+	// One scratch buffer serves every width, so the maxW wrapper designs
+	// of the staircase cost zero steady-state allocations.
+	buf := newDesignBuf(m, maxW)
 	var pts []Point
 	best := int64(-1)
 	for w := 1; w <= maxW; w++ {
-		t, err := Time(m, w)
-		if err != nil {
-			return nil, err
-		}
+		t := timeWith(m, w, buf)
 		if best < 0 || t < best {
 			best = t
 			pts = append(pts, Point{Width: w, Time: t})

@@ -24,6 +24,7 @@ package wrapper
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"mixsoc/internal/itc02"
@@ -125,18 +126,104 @@ func Time(m *itc02.Module, w int) (int64, error) {
 // unused bins are zero.
 func partitionBFD(sortedDesc []int, w int) []int {
 	bins := make([]int, w)
+	partitionBFDInto(sortedDesc, bins)
+	return bins
+}
+
+// partitionBFDInto is partitionBFD writing into a caller-owned slice.
+func partitionBFDInto(sortedDesc []int, bins []int) {
+	clear(bins)
 	for _, l := range sortedDesc {
-		// Find the lightest bin. w is small (≤ a few hundred), so a
-		// linear scan beats heap bookkeeping in practice.
+		// Find the lightest bin. len(bins) is small (≤ a few hundred),
+		// so a linear scan beats heap bookkeeping in practice.
 		best := 0
-		for i := 1; i < w; i++ {
+		for i := 1; i < len(bins); i++ {
 			if bins[i] < bins[best] {
 				best = i
 			}
 		}
 		bins[best] += l
 	}
-	return bins
+}
+
+// designBuf holds the scratch buffers a staircase computation reuses
+// across widths, so evaluating a module at every width up to maxW does
+// not allocate per width. One buffer serves one goroutine.
+type designBuf struct {
+	sortedScan []int // module scan chains, descending, computed once
+	bins       []int // BFD partition scratch
+	lv         []int // sorted bin levels for waterFillMax
+}
+
+func newDesignBuf(m *itc02.Module, maxW int) *designBuf {
+	return &designBuf{
+		sortedScan: m.SortedScanDescending(),
+		bins:       make([]int, maxW),
+		lv:         make([]int, maxW),
+	}
+}
+
+// waterFillMax returns the maximum bin level after water-filling cells
+// over base (the quantity scanTestTime needs), without materializing the
+// filled bins. It reproduces waterFill's arithmetic exactly: bins are
+// raised lowest-first to a common level, then the remainder is spread
+// one cell per bin. lv is scratch of len(base), overwritten.
+func waterFillMax(base []int, cells int, lv []int) int {
+	w := len(base)
+	copy(lv, base)
+	slices.Sort(lv)
+	maxBase := lv[w-1]
+	if cells <= 0 {
+		return maxBase
+	}
+	remaining := cells
+	for k := 0; k < w; k++ {
+		level := lv[k]
+		var next int
+		if k+1 < w {
+			next = lv[k+1]
+		} else {
+			next = level + remaining // unbounded: final spread
+		}
+		capacity := (k + 1) * (next - level)
+		if capacity >= remaining {
+			top := level + remaining/(k+1)
+			if remaining%(k+1) > 0 {
+				top++
+			}
+			if top > maxBase {
+				return top
+			}
+			return maxBase
+		}
+		remaining -= capacity
+	}
+	return maxBase
+}
+
+// timeWith computes Time(m, w) through the scratch buffers: the same
+// BFD partition, water-filling and per-test formula as New, minus every
+// allocation.
+func timeWith(m *itc02.Module, w int, b *designBuf) int64 {
+	bins := b.bins[:w]
+	partitionBFDInto(b.sortedScan, bins)
+	si := waterFillMax(bins, m.Inputs+m.Bidirs, b.lv[:w])
+	so := waterFillMax(bins, m.Outputs+m.Bidirs, b.lv[:w])
+
+	var total int64
+	for _, t := range m.Tests {
+		switch {
+		case !t.TamUse:
+			total += int64(t.Patterns)
+		case t.ScanUse:
+			total += scanTestTime(si, so, t.Patterns)
+		default:
+			isi := ceilDiv(m.Inputs+m.Bidirs, w)
+			iso := ceilDiv(m.Outputs+m.Bidirs, w)
+			total += scanTestTime(isi, iso, t.Patterns)
+		}
+	}
+	return total
 }
 
 // waterFill adds cells IO cells to the bins so that the maximum is
