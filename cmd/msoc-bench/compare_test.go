@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir string, r report) {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+r.Name+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComparePair(t *testing.T) {
+	oldR := &report{Name: "x", BestSeconds: 1.0, Metrics: map[string]float64{"m": 2}}
+
+	c := comparePair(oldR, &report{Name: "x", BestSeconds: 1.1, Metrics: map[string]float64{"m": 2}}, 15, 0.01)
+	if c.Regressed || len(c.Drifted) != 0 {
+		t.Errorf("10%% growth flagged: %+v", c)
+	}
+	c = comparePair(oldR, &report{Name: "x", BestSeconds: 1.2, Metrics: map[string]float64{"m": 2}}, 15, 0.01)
+	if !c.Regressed {
+		t.Error("20% growth not flagged at 15% threshold")
+	}
+	c = comparePair(oldR, &report{Name: "x", BestSeconds: 0.5, Metrics: map[string]float64{"m": 3}}, 15, 0.01)
+	if c.Regressed || len(c.Drifted) != 1 {
+		t.Errorf("metric drift not detected: %+v", c)
+	}
+	c = comparePair(oldR, &report{Name: "x", BestSeconds: 0.5, Metrics: nil}, 15, 0.01)
+	if len(c.Drifted) != 1 || !strings.Contains(c.Drifted[0], "missing") {
+		t.Errorf("missing metric not detected: %+v", c)
+	}
+	// Noise floor: microsecond benches are not time-compared.
+	tiny := &report{Name: "x", BestSeconds: 0.0004, Metrics: map[string]float64{"m": 2}}
+	c = comparePair(tiny, &report{Name: "x", BestSeconds: 0.002, Metrics: map[string]float64{"m": 2}}, 15, 0.01)
+	if c.Regressed {
+		t.Errorf("sub-floor timing compared: %+v", c)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	writeReport(t, oldDir, report{Name: "a", BestSeconds: 1.0, Metrics: map[string]float64{"m": 1}})
+	writeReport(t, oldDir, report{Name: "b", BestSeconds: 2.0, Metrics: map[string]float64{"n": 7}})
+	writeReport(t, newDir, report{Name: "a", BestSeconds: 0.5, Metrics: map[string]float64{"m": 1}})
+	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.1, Metrics: map[string]float64{"n": 7}})
+	writeReport(t, newDir, report{Name: "c", BestSeconds: 0.1, Metrics: nil})
+
+	lines, ok, err := runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("healthy trail flagged:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{"a  ", "b  ", "new benchmark"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("report missing %q:\n%s", frag, joined)
+		}
+	}
+
+	// Regress b beyond threshold.
+	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.5, Metrics: map[string]float64{"n": 7}})
+	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("25% regression not flagged")
+	}
+
+	// Regressing AND drifting reports both statuses, and tolerating the
+	// drift must not wave the time regression through.
+	writeReport(t, newDir, report{Name: "b", BestSeconds: 3.0, Metrics: map[string]float64{"n": 9}})
+	lines, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined = strings.Join(lines, "\n")
+	if ok || !strings.Contains(joined, "REGRESSED") || !strings.Contains(joined, "METRICS DRIFTED") {
+		t.Errorf("combined regression+drift misreported:\n%s", joined)
+	}
+	if _, ok, _ = runCompare(oldDir, newDir, 15, 0.01, true); ok {
+		t.Error("-allow-metric-drift waved a time regression through")
+	}
+
+	// Drift a metric; tolerated only with allowDrift.
+	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.0, Metrics: map[string]float64{"n": 8}})
+	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil || ok {
+		t.Errorf("metric drift not flagged (ok=%v err=%v)", ok, err)
+	}
+	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, true)
+	if err != nil || !ok {
+		t.Errorf("tolerated drift still failed (ok=%v err=%v)", ok, err)
+	}
+
+	// A benchmark vanishing from the new trail fails the compare.
+	if err := os.Remove(filepath.Join(newDir, "BENCH_a.json")); err != nil {
+		t.Fatal(err)
+	}
+	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.0, Metrics: map[string]float64{"n": 7}})
+	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil || ok {
+		t.Errorf("missing benchmark not flagged (ok=%v err=%v)", ok, err)
+	}
+
+	// Single-file form.
+	_, ok, err = runCompare(filepath.Join(oldDir, "BENCH_b.json"), filepath.Join(newDir, "BENCH_b.json"), 15, 0.01, false)
+	if err != nil || !ok {
+		t.Errorf("single-file compare failed (ok=%v err=%v)", ok, err)
+	}
+}

@@ -5,11 +5,17 @@
 // Usage:
 //
 //	msoc-bench [-out dir] [-repeat n] [-workers n] [-bench name]
+//	msoc-bench -compare old new [-regress-pct p] [-allow-metric-drift]
 //
 // Each benchmark regenerates a full experiment through the same code
 // paths as cmd/msoc-tables and the go test benchmarks, records the best
 // wall time over -repeat runs, and embeds the experiment's headline
 // metrics so a perf change that altered results is immediately visible.
+//
+// The -compare form diffs two perf trails — single BENCH_*.json files
+// or directories of them — and exits non-zero when a benchmark's best
+// wall time regressed by more than -regress-pct (default 15%) or any
+// headline metric changed, making the trail enforceable in CI.
 package main
 
 import (
@@ -104,6 +110,26 @@ func benchmarks() []benchmark {
 				"makespan": float64(res.Best.TestTime),
 			}, nil
 		}},
+		// sweep-warm exercises the cross-width warm-start chain. Its
+		// wall time is the point; its metrics are intentionally NOT the
+		// cold sweep's (warm packing trades a few percent of schedule
+		// quality), so they are tracked as their own trail entries.
+		{"sweep-warm", func() (map[string]float64, error) {
+			points, err := core.SweepWith(experiments.Design(), experiments.PaperWidths,
+				[]core.Weights{core.EqualWeights}, core.SweepOptions{Exhaustive: true, WarmStart: true})
+			if err != nil {
+				return nil, err
+			}
+			best, err := core.BestOver(points)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"points":   float64(len(points)),
+				"bestCost": best.Result.Best.Cost,
+				"bestW":    float64(best.Width),
+			}, nil
+		}},
 	}
 }
 
@@ -113,8 +139,46 @@ func main() {
 	out := flag.String("out", ".", "directory for the BENCH_*.json files")
 	repeat := flag.Int("repeat", 3, "runs per benchmark; the best wall time is reported")
 	workers := flag.Int("workers", 0, "cap the worker pool (0 = all CPUs)")
-	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, or all")
+	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, sweep-warm, or all")
+	compare := flag.Bool("compare", false, "compare two perf trails (files or directories) given as positional args and exit non-zero on regression")
+	regressPct := flag.Float64("regress-pct", 15, "with -compare: allowed wall-time growth in percent")
+	minSeconds := flag.Float64("min-seconds", 0.01, "with -compare: skip the time check when both runs are under this many seconds (noise floor)")
+	allowDrift := flag.Bool("allow-metric-drift", false, "with -compare: tolerate changed headline metrics instead of failing")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) < 2 {
+			log.Fatal("-compare needs two arguments: old and new (BENCH_*.json files or directories)")
+		}
+		// flag.Parse stops at the first positional, so tolerate the
+		// natural `-compare old new -regress-pct 20` ordering by
+		// re-parsing whatever follows the two paths.
+		if len(args) > 2 {
+			fs := flag.NewFlagSet("compare", flag.ExitOnError)
+			fs.Float64Var(regressPct, "regress-pct", *regressPct, "allowed wall-time growth in percent")
+			fs.Float64Var(minSeconds, "min-seconds", *minSeconds, "noise floor for the time check")
+			fs.BoolVar(allowDrift, "allow-metric-drift", *allowDrift, "tolerate changed headline metrics")
+			if err := fs.Parse(args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			if fs.NArg() != 0 {
+				log.Fatalf("-compare takes exactly two paths, got extra arguments %v", fs.Args())
+			}
+		}
+		lines, ok, err := runCompare(args[0], args[1], *regressPct, *minSeconds, *allowDrift)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if !ok {
+			log.Fatal("perf trail regressed (see above)")
+		}
+		fmt.Printf("perf trail ok: no regression beyond %.0f%%, metrics stable\n", *regressPct)
+		return
+	}
 
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)

@@ -1,0 +1,30 @@
+package mixsoc
+
+// The examples are package main programs, so the ordinary test build
+// never compiles them and they can rot silently when the library API
+// moves. This build-only test keeps them honest: it compiles (without
+// running) every module under examples/ and the commands under cmd/
+// with the same toolchain running the tests.
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesAndCommandsBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles packages; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not on PATH: %v", err)
+	}
+	for _, pattern := range []string{"./examples/...", "./cmd/..."} {
+		cmd := exec.Command(goBin, "build", "-o", t.TempDir(), pattern)
+		cmd.Dir = "."
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Errorf("go build %s failed: %v\n%s", pattern, err, out)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/partition"
@@ -24,6 +25,7 @@ type ScheduleCache struct {
 
 type cacheEntry struct {
 	once sync.Once
+	done atomic.Bool // set after once completes; gates Peek
 	s    *tam.Schedule
 	err  error
 }
@@ -44,6 +46,24 @@ func (c *ScheduleCache) entry(key string) *cacheEntry {
 	return e
 }
 
+// Peek returns the already-computed schedule for key, or nil if the key
+// has never been computed (or failed). It never blocks on an in-flight
+// computation and never triggers one: warm-start chaining uses it to
+// ask "did the previous width pack this configuration?" without
+// perturbing the previous width's cache.
+func (c *ScheduleCache) Peek(key string) *tam.Schedule {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	e := c.m[key]
+	c.mu.Unlock()
+	if e == nil || !e.done.Load() || e.err != nil {
+		return nil
+	}
+	return e.s
+}
+
 // Evaluator runs TAM optimizations for sharing configurations of one
 // design at one TAM width, caching results by configuration. It counts
 // the number of distinct TAM optimizer runs, the NEval metric of
@@ -53,6 +73,21 @@ func (c *ScheduleCache) entry(key string) *cacheEntry {
 type Evaluator struct {
 	Design *Design
 	Width  int
+
+	// Staircases, when non-nil, serves the digital cores' wrapper
+	// staircases from a design-level cache shared across widths (see
+	// wrapper.StaircaseCache); nil computes them from scratch. Set it
+	// before the evaluator's first use.
+	Staircases *wrapper.StaircaseCache
+
+	// Warm, when non-nil, is the schedule cache of an adjacent
+	// (narrower) TAM width: configurations already packed there seed
+	// this evaluator's TAM runs via tam.WithWarmStart. Set it before the
+	// evaluator's first use, and only from sweep drivers that complete
+	// the previous width first — Peek never blocks, so a racing source
+	// cache would make warm seeding (not results, but timing)
+	// nondeterministic.
+	Warm *ScheduleCache
 
 	cache *ScheduleCache
 
@@ -95,7 +130,7 @@ func (e *Evaluator) Runs() int {
 
 func (e *Evaluator) digitalJobs() ([]*tam.Job, error) {
 	e.digOnce.Do(func() {
-		e.digital, e.digitalErr = DigitalJobs(e.Design, e.Width)
+		e.digital, e.digitalErr = DigitalJobsWith(e.Design, e.Width, e.Staircases)
 	})
 	return e.digital, e.digitalErr
 }
@@ -103,6 +138,7 @@ func (e *Evaluator) digitalJobs() ([]*tam.Job, error) {
 func (e *Evaluator) compute(p partition.Partition, key string) (*tam.Schedule, error) {
 	ent := e.cache.entry(key)
 	ent.once.Do(func() {
+		defer ent.done.Store(true)
 		digital, err := e.digitalJobs()
 		if err != nil {
 			ent.err = err
@@ -113,7 +149,11 @@ func (e *Evaluator) compute(p partition.Partition, key string) (*tam.Schedule, e
 			ent.err = err
 			return
 		}
-		ent.s, ent.err = tam.Optimize(jobs, e.Width)
+		var opts []tam.Option
+		if seed := e.Warm.Peek(key); seed != nil {
+			opts = append(opts, tam.WithWarmStart(seed))
+		}
+		ent.s, ent.err = tam.Optimize(jobs, e.Width, opts...)
 	})
 	return ent.s, ent.err
 }
@@ -164,12 +204,19 @@ func (e *Evaluator) TestTime(p partition.Partition) (int64, error) {
 // to the TAM width). The result is independent of the analog sharing
 // configuration.
 func DigitalJobs(d *Design, width int) ([]*tam.Job, error) {
+	return DigitalJobsWith(d, width, nil)
+}
+
+// DigitalJobsWith is DigitalJobs drawing staircases from a design-level
+// cache when sc is non-nil, so a width sweep designs each module's
+// wrapper once instead of once per width.
+func DigitalJobsWith(d *Design, width int, sc *wrapper.StaircaseCache) ([]*tam.Job, error) {
 	if width < 1 {
 		return nil, fmt.Errorf("core: TAM width %d < 1", width)
 	}
 	var jobs []*tam.Job
 	for _, m := range d.Digital.Cores() {
-		pts, err := wrapper.Pareto(m, width)
+		pts, err := sc.Pareto(m, width)
 		if err != nil {
 			return nil, err
 		}

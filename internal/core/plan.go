@@ -8,6 +8,7 @@ import (
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/partition"
+	"mixsoc/internal/wrapper"
 )
 
 // Planner solves Problem P_msoc (Section 4): pick the analog
@@ -44,6 +45,15 @@ type Planner struct {
 	// schedule store (see ScheduleCache). It must belong to the same
 	// design and width.
 	Cache *ScheduleCache
+	// Staircases, when non-nil, serves digital wrapper staircases from a
+	// design-level cache shared across widths (see
+	// wrapper.StaircaseCache).
+	Staircases *wrapper.StaircaseCache
+	// Warm, when non-nil, is the completed schedule cache of an adjacent
+	// narrower width used to seed TAM runs (see Evaluator.Warm).
+	// Warm-started packing is not guaranteed to reproduce cold makespans
+	// bit-for-bit; leave it nil where exact reproduction matters.
+	Warm *ScheduleCache
 }
 
 // NewPlanner returns a planner with the defaults used by the paper's
@@ -107,7 +117,10 @@ func (pl *Planner) workers() int {
 }
 
 func (pl *Planner) evaluator() *Evaluator {
-	return NewSharedEvaluator(pl.Design, pl.Width, pl.Cache)
+	e := NewSharedEvaluator(pl.Design, pl.Width, pl.Cache)
+	e.Staircases = pl.Staircases
+	e.Warm = pl.Warm
+	return e
 }
 
 // evalAt completes an Evaluation for p given the all-share time.

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"mixsoc/internal/partition"
+	"mixsoc/internal/wrapper"
 )
 
 // SweepPoint is one solved planning instance of a trade-off sweep.
@@ -13,43 +15,86 @@ type SweepPoint struct {
 	Result  *Result
 }
 
+// SweepOptions configures SweepWith.
+type SweepOptions struct {
+	// Exhaustive solves every point optimally; otherwise the
+	// Cost_Optimizer heuristic runs.
+	Exhaustive bool
+	// WarmStart chains TAM packings across the width dimension: widths
+	// are solved in ascending order and every configuration packed at
+	// one width seeds the packing of the same configuration at the next
+	// width (tam.WithWarmStart), so the improve loop starts from a
+	// near-feasible schedule instead of packing three orderings from
+	// scratch. The chaining is deterministic — a width's caches are
+	// complete before the next width starts — but warm-started packing
+	// follows a different search trajectory than cold packing, so
+	// makespans can differ slightly from a cold sweep (in either
+	// direction; the polish loops are shared and monotone). The paper
+	// tables therefore run cold; use WarmStart for wide exploratory
+	// sweeps where throughput matters more than bit-exact
+	// reproducibility.
+	WarmStart bool
+	// Configure adjusts each planner before it runs, e.g. to change the
+	// cost model; it must not change the planner's Design, Width, or
+	// caches, and must be safe to call concurrently.
+	Configure func(*Planner)
+	// Workers bounds the sweep's total CPU budget; 0 means
+	// DefaultWorkers.
+	Workers int
+}
+
 // Sweep solves the planning problem across TAM widths and weight
-// settings — the cost surface the paper's Table 4 explores. With
-// exhaustive set, every point is solved optimally; otherwise the
-// Cost_Optimizer heuristic runs. The configure hook (optional) adjusts
-// each planner before it runs, e.g. to change the cost model; it must
-// not change the planner's Design or Width (grid points at one width
-// share a schedule cache) and must be safe to call concurrently.
-//
-// The grid points fan out across the worker pool, and points at the
-// same TAM width share one schedule cache (test schedules do not depend
-// on the cost weights), so no configuration is ever packed twice. The
-// returned slice is ordered weights-major exactly as a sequential sweep.
+// settings — the cost surface the paper's Table 4 explores — with the
+// default options (cold packing). See SweepWith.
 func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configure func(*Planner)) ([]SweepPoint, error) {
+	return SweepWith(d, widths, weights, SweepOptions{Exhaustive: exhaustive, Configure: configure})
+}
+
+// SweepWith solves the planning problem across TAM widths and weight
+// settings. Grid points at the same TAM width share one schedule cache
+// (test schedules do not depend on the cost weights), and the whole
+// sweep shares one wrapper staircase cache (a module's staircase at a
+// narrower width is a prefix of its staircase at a wider one), so no
+// configuration is ever packed — and no wrapper ever designed — twice.
+// The returned slice is ordered weights-major exactly as a sequential
+// sweep.
+//
+// Without WarmStart the grid points fan out across the worker pool and
+// the result is bit-identical to a sequential cold sweep. With
+// WarmStart the width dimension runs in ascending order so each width
+// seeds the next (see SweepOptions.WarmStart).
+func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]SweepPoint, error) {
 	if len(widths) == 0 || len(weights) == 0 {
 		return nil, fmt.Errorf("core: sweep needs at least one width and one weight setting")
 	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	stairs := wrapper.NewStaircaseCache(slices.Max(widths))
 	caches := make(map[int]*ScheduleCache, len(widths))
 	for _, w := range widths {
 		caches[w] = NewScheduleCache()
 	}
+
 	out := make([]SweepPoint, len(weights)*len(widths))
 	errs := make([]error, len(out))
-	outer, inner := SplitWorkers(DefaultWorkers(), len(out))
-	forEach(len(out), outer, func(i int) {
+	solve := func(i int, warm *ScheduleCache, inner int) {
 		wt := weights[i/len(widths)]
 		w := widths[i%len(widths)]
 		pl := NewPlanner(d, w, wt)
 		pl.Cache = caches[w]
+		pl.Staircases = stairs
+		pl.Warm = warm
 		pl.Workers = inner
-		if configure != nil {
-			configure(pl)
+		if opt.Configure != nil {
+			opt.Configure(pl)
 		}
 		var (
 			res *Result
 			err error
 		)
-		if exhaustive {
+		if opt.Exhaustive {
 			res, err = pl.Exhaustive()
 		} else {
 			res, err = pl.CostOptimizer()
@@ -59,7 +104,32 @@ func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configur
 			return
 		}
 		out[i] = SweepPoint{Width: w, Weights: wt, Result: res}
-	})
+	}
+
+	if !opt.WarmStart {
+		outer, inner := SplitWorkers(workers, len(out))
+		forEach(len(out), outer, func(i int) { solve(i, nil, inner) })
+	} else {
+		// Ascending unique widths; each width's caches complete before
+		// the next width starts, so every Peek is deterministic.
+		asc := slices.Clone(widths)
+		slices.Sort(asc)
+		asc = slices.Compact(asc)
+		outer, inner := SplitWorkers(workers, len(weights))
+		for wi, w := range asc {
+			var warm *ScheduleCache
+			if wi > 0 {
+				warm = caches[asc[wi-1]]
+			}
+			forEach(len(weights), outer, func(k int) {
+				for ci, cw := range widths {
+					if cw == w {
+						solve(k*len(widths)+ci, warm, inner)
+					}
+				}
+			})
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -71,13 +141,18 @@ func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configur
 // WidthCurve returns the SOC test time of one fixed sharing
 // configuration across TAM widths: the staircase a designer inspects to
 // size the TAM. Times are non-increasing in W up to scheduling noise.
+// The widths share one staircase cache, so the digital wrappers are
+// designed once for the whole curve.
 func WidthCurve(d *Design, p partition.Partition, widths []int) ([]int64, error) {
 	if len(widths) == 0 {
 		return nil, fmt.Errorf("core: width curve needs widths")
 	}
+	stairs := wrapper.NewStaircaseCache(slices.Max(widths))
 	out := make([]int64, len(widths))
 	for i, w := range widths {
-		t, err := NewEvaluator(d, w).TestTime(p)
+		ev := NewEvaluator(d, w)
+		ev.Staircases = stairs
+		t, err := ev.TestTime(p)
 		if err != nil {
 			return nil, err
 		}

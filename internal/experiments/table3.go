@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/core"
 	"mixsoc/internal/partition"
+	"mixsoc/internal/wrapper"
 )
 
 // Table3Row is one sharing combination evaluated at every width.
@@ -32,7 +34,9 @@ type Table3Result struct {
 // width columns are independent, so they are generated concurrently —
 // and within each column the combination schedules are prefetched across
 // the worker pool — with results merged by index, making the table
-// identical to a sequential run.
+// identical to a sequential run. All columns share one wrapper
+// staircase cache: each digital module's staircase is designed once at
+// the widest column and served to the narrower ones as a prefix.
 func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 	if d == nil {
 		d = Design()
@@ -42,6 +46,7 @@ func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 	}
 	names := d.AnalogNames()
 	combos := d.Candidates(partition.PaperPolicy)
+	stairs := wrapper.NewStaircaseCache(slices.Max(widths))
 
 	res := &Table3Result{Widths: widths}
 	rows := make([]Table3Row, len(combos))
@@ -56,6 +61,7 @@ func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 	core.ForEach(len(widths), outer, func(wi int) {
 		w := widths[wi]
 		ev := core.NewEvaluator(d, w)
+		ev.Staircases = stairs
 		if inner > 1 {
 			allShareP := d.AllShare()
 			core.ForEach(len(combos)+1, inner, func(i int) {

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/core"
+	"mixsoc/internal/wrapper"
 )
 
 // Table4Cell compares exhaustive evaluation with Cost_Optimizer at one
@@ -37,8 +39,9 @@ type Table4Result struct {
 // setting. The grid cells fan out across the worker pool, and all cells
 // at one TAM width — across weight settings, and between the exhaustive
 // and heuristic solver of a cell — share one schedule cache, since test
-// schedules depend only on the width and the sharing configuration.
-// Cells are merged weights-major by index, so the table (costs, NEval,
+// schedules depend only on the width and the sharing configuration; the
+// whole grid shares one wrapper staircase cache across widths. Cells
+// are merged weights-major by index, so the table (costs, NEval,
 // selections) is identical to a sequential run.
 func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result, error) {
 	if d == nil {
@@ -53,6 +56,7 @@ func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result
 	names := d.AnalogNames()
 	res := &Table4Result{Widths: widths, Weights: weights}
 
+	stairs := wrapper.NewStaircaseCache(slices.Max(widths))
 	caches := make(map[int]*core.ScheduleCache, len(widths))
 	for _, w := range widths {
 		caches[w] = core.NewScheduleCache()
@@ -66,6 +70,7 @@ func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result
 		pl := core.NewPlanner(d, w, wt)
 		pl.CostModel = analog.PaperCostModel()
 		pl.Cache = caches[w]
+		pl.Staircases = stairs
 		pl.Workers = inner
 		ex, err := pl.Exhaustive()
 		if err != nil {

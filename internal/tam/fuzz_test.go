@@ -1,0 +1,134 @@
+package tam
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mixsoc/internal/wrapper"
+)
+
+// randomJobs derives a reproducible random job set from (seed, nJobs,
+// binWidth): staircases are strictly improving, a third of the jobs
+// carry one of two serialization groups, and every job has at least one
+// option that fits the bin.
+func randomJobs(seed int64, nJobs, binWidth int) []*Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]*Job, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		w := 1 + rng.Intn(binWidth)
+		tt := int64(20 + rng.Intn(300))
+		pts := []wrapper.Point{{Width: w, Time: tt}}
+		for len(pts) < 1+rng.Intn(4) {
+			w += 1 + rng.Intn(8)
+			tt -= 1 + rng.Int63n(tt/2+1)
+			if tt <= 0 {
+				break
+			}
+			pts = append(pts, wrapper.Point{Width: w, Time: tt})
+		}
+		j := &Job{ID: fmt.Sprintf("j%02d", i), Options: pts}
+		if rng.Intn(3) == 0 {
+			j.Group = fmt.Sprintf("g%d", rng.Intn(2))
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// FuzzBitmaskFitter packs random job sets twice — once with the uint64
+// free-mask band search and once with the per-wire counter scan it
+// replaced — and requires bit-identical earliest-fit answers and
+// placements at every step. The counter scan is the reference
+// implementation; any divergence is a bug in the bitmask path.
+func FuzzBitmaskFitter(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(12))
+	f.Add(int64(7), uint8(1), uint8(5))
+	f.Add(int64(42), uint8(63), uint8(16))
+	f.Add(int64(99), uint8(31), uint8(9))
+	f.Add(int64(1234), uint8(47), uint8(14))
+	f.Fuzz(func(t *testing.T, seed int64, widthByte, nByte uint8) {
+		binWidth := 1 + int(widthByte)%64
+		n := 2 + int(nByte)%14
+		jobs := randomJobs(seed, n, binWidth)
+
+		cfg := config{improvePasses: len(jobs), paretoOnly: true}
+		opts := newOptionTable(jobs, binWidth, cfg)
+		mask := newFitter(opts, binWidth, cfg)
+		scan := newFitter(opts, binWidth, cfg)
+		scan.useMask = false
+		if !mask.useMask {
+			t.Fatalf("binWidth %d should select the mask path", binWidth)
+		}
+
+		s := &Schedule{Width: binWidth}
+		for _, j := range jobs {
+			// Raw earliest-fit answers must agree for every width option,
+			// with and without a pruning limit.
+			mask.prepare(s.Placements)
+			scan.prepare(s.Placements)
+			for _, opt := range opts[j] {
+				for _, limit := range []int64{math.MaxInt64, 100} {
+					mt, mw, mok := mask.earliestFit(j, opt.Width, opt.Time, s.Placements, limit)
+					st, sw, sok := scan.earliestFit(j, opt.Width, opt.Time, s.Placements, limit)
+					if mt != st || mw != sw || mok != sok {
+						t.Fatalf("earliestFit(%s, w=%d, dur=%d, limit=%d) diverges: mask (%d,%d,%v) scan (%d,%d,%v)",
+							j.ID, opt.Width, opt.Time, limit, mt, mw, mok, st, sw, sok)
+					}
+				}
+			}
+			mp, mok := mask.bestPlacement(j, s.Placements)
+			sp, sok := scan.bestPlacement(j, s.Placements)
+			if mok != sok || mp != sp {
+				t.Fatalf("bestPlacement(%s) diverges: mask %+v/%v scan %+v/%v", j.ID, mp, mok, sp, sok)
+			}
+			if !mok {
+				t.Fatalf("could not place %s in width-%d bin", j.ID, binWidth)
+			}
+			s.Placements = append(s.Placements, mp)
+			if mp.End > s.Makespan {
+				s.Makespan = mp.End
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("packed schedule invalid: %v", err)
+		}
+	})
+}
+
+// TestRunMask pins the word-trick band search against a bit-by-bit
+// reference on exhaustive small masks and random 64-bit ones.
+func TestRunMask(t *testing.T) {
+	ref := func(free uint64, w int) uint64 {
+		var out uint64
+		for i := 0; i+w <= 64; i++ {
+			all := true
+			for b := i; b < i+w; b++ {
+				if free&(1<<uint(b)) == 0 {
+					all = false
+					break
+				}
+			}
+			if all {
+				out |= 1 << uint(i)
+			}
+		}
+		return out
+	}
+	for free := uint64(0); free < 1<<10; free++ {
+		for w := 1; w <= 10; w++ {
+			if got, want := runMask(free, w)&((1<<10)-1), ref(free, w)&((1<<10)-1); got != want {
+				t.Fatalf("runMask(%#b, %d) = %#b, want %#b", free, w, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		free := rng.Uint64()
+		w := 1 + rng.Intn(64)
+		if got, want := runMask(free, w), ref(free, w); got != want {
+			t.Fatalf("runMask(%#x, %d) = %#x, want %#x", free, w, got, want)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package tam
 
 import (
 	"cmp"
+	"math"
+	"math/bits"
 	"slices"
 
 	"mixsoc/internal/wrapper"
@@ -10,22 +12,42 @@ import (
 // fitter answers earliest-fit queries against a schedule's placements
 // with a single time sweep per query instead of the per-candidate full
 // rescans of the naive formulation. One fitter serves one packing
-// goroutine: it owns reusable scratch buffers (candidate start times,
-// start/end-sorted placement indices, and a per-wire occupancy profile)
-// so steady-state queries allocate nothing. The per-job width options
-// (the Pareto staircase, or the full staircase under
-// WithFullStaircase) are precomputed once per Optimize call and shared
-// read-only between fitters.
+// goroutine: it owns reusable scratch buffers (start/end-sorted
+// placement indices and a per-wire occupancy profile) so steady-state
+// queries allocate nothing. The per-job width options (the Pareto
+// staircase, or the full staircase under WithFullStaircase) are
+// precomputed once per Optimize call and shared read-only between
+// fitters.
+//
+// Two generations of speedup over the naive rescan live here:
+//
+//   - the candidate start times of a query (0, each placed rectangle's
+//     end, and each start minus the query duration) are not collected
+//     and sorted per width option; they are generated in ascending
+//     order by merging the byStart/byEnd index orders, which
+//     bestPlacement builds once per job and shares across every width
+//     option of that job;
+//   - for bins of at most 64 wires — every width the paper sweeps — the
+//     band search maintains a uint64 busy mask alongside the per-wire
+//     counters, turning the O(W) lowest-free-band scan at each
+//     candidate time into a handful of word operations (see runMask).
+//     The counter scan remains both the ≥ 65-wire fallback and the
+//     reference implementation the bitmask path is fuzzed against
+//     (FuzzBitmaskFitter).
 type fitter struct {
 	binWidth int
 	cfg      config
+
+	// useMask selects the uint64 free-mask band search; widthMask has
+	// the low binWidth bits set so wires outside the bin read as busy.
+	useMask   bool
+	widthMask uint64
 
 	// opts maps each job to its candidate width options, precomputed by
 	// newOptionTable. Read-only after construction; safe to share.
 	opts map[*Job][]wrapper.Point
 
 	// Scratch buffers, reused across queries.
-	cands   []int64 // candidate start times
 	byStart []int32 // placement indices ordered by Start
 	byEnd   []int32 // placement indices ordered by End
 	occ     []int32 // occupancy count per wire during the sweep window
@@ -43,12 +65,17 @@ func newOptionTable(jobs []*Job, binWidth int, cfg config) map[*Job][]wrapper.Po
 }
 
 func newFitter(opts map[*Job][]wrapper.Point, binWidth int, cfg config) *fitter {
-	return &fitter{
+	f := &fitter{
 		binWidth: binWidth,
 		cfg:      cfg,
 		opts:     opts,
 		occ:      make([]int32, binWidth),
 	}
+	if binWidth <= 64 {
+		f.useMask = true
+		f.widthMask = ^uint64(0) >> uint(64-binWidth)
+	}
+	return f
 }
 
 // fork returns a fitter sharing the read-only option table but owning
@@ -76,49 +103,155 @@ func (f *fitter) prepare(placements []Placement) {
 	f.byStart, f.byEnd = byStart, byEnd
 }
 
+// candGen yields the candidate start times of one earliest-fit query in
+// strictly ascending order: 0, then the ends of placed rectangles and
+// their starts minus the query duration (a window can also become
+// feasible right before a rectangle begins) — the same candidate set as
+// a full collect-and-sort, produced by merging the already-sorted
+// byStart and byEnd index orders with two monotone cursors. This is
+// what lets one prepare() serve every width option of a job: the
+// duration-dependent candidate stream costs O(n) per option instead of
+// an O(n log n) sort.
+type candGen struct {
+	placements []Placement
+	byStart    []int32
+	byEnd      []int32
+	dur        int64
+	ce, cs     int // cursors into byEnd / byStart
+}
+
+// next returns the smallest candidate strictly greater than t, or
+// math.MaxInt64 when exhausted.
+func (g *candGen) next(t int64) int64 {
+	for g.ce < len(g.byEnd) && g.placements[g.byEnd[g.ce]].End <= t {
+		g.ce++
+	}
+	for g.cs < len(g.byStart) && g.placements[g.byStart[g.cs]].Start-g.dur <= t {
+		g.cs++
+	}
+	nxt := int64(math.MaxInt64)
+	if g.ce < len(g.byEnd) {
+		nxt = g.placements[g.byEnd[g.ce]].End
+	}
+	if g.cs < len(g.byStart) {
+		if s := g.placements[g.byStart[g.cs]].Start - g.dur; s < nxt {
+			nxt = s
+		}
+	}
+	return nxt
+}
+
 // earliestFit returns the earliest start time (and lowest wire band) at
 // which a w×dur rectangle for job j fits among the placements: no wire
 // conflicts and no time overlap with j's serialization group. The
 // caller must have called prepare on the same placements slice.
+// Candidates greater than limit are not considered: callers pass the
+// largest start that could still matter to them, which prunes the sweep
+// without changing any answer they act on.
 //
-// Candidate starts are 0, the ends of placed rectangles, and their
-// starts minus dur (a window can also become feasible right before a
-// rectangle begins) — the same candidate set as a full rescan, so the
-// result is identical. The candidates are visited in ascending order
-// while two monotone cursors maintain the set of placements overlapping
-// the moving window [t, t+dur) as a per-wire occupancy profile plus a
-// count of active same-group placements, making each candidate check
-// O(1) for the group constraint and O(binWidth) for the band scan.
-func (f *fitter) earliestFit(j *Job, w int, dur int64, placements []Placement) (int64, int, bool) {
-	n := len(placements)
-
-	cands := f.cands[:0]
-	cands = append(cands, 0)
-	for i := range placements {
-		p := &placements[i]
-		cands = append(cands, p.End)
-		if t := p.Start - dur; t > 0 {
-			cands = append(cands, t)
-		}
+// The candidates are visited in ascending order while two monotone
+// cursors maintain the set of placements overlapping the moving window
+// [t, t+dur) as a per-wire occupancy profile plus a count of active
+// same-group placements, making each candidate check O(1) for the group
+// constraint and — on the bitmask path — a few word operations for the
+// band search.
+func (f *fitter) earliestFit(j *Job, w int, dur int64, placements []Placement, limit int64) (int64, int, bool) {
+	if f.useMask {
+		return f.earliestFitMask(j, w, dur, placements, limit)
 	}
-	slices.Sort(cands)
-	f.cands = cands
+	return f.earliestFitScan(j, w, dur, placements, limit)
+}
 
+// earliestFitMask is the ≤ 64-wire fast path: the per-wire counters are
+// still maintained (two placements may cover the same wire at different
+// times within one window), but a busy mask tracks which wires have a
+// nonzero count, so each candidate check is a lowest-run-of-zeros word
+// search instead of an O(W) scan.
+func (f *fitter) earliestFitMask(j *Job, w int, dur int64, placements []Placement, limit int64) (int64, int, bool) {
+	n := len(placements)
+	byStart, byEnd := f.byStart, f.byEnd
+
+	occ := f.occ[:f.binWidth]
+	clear(occ)
+	var busy uint64
+	groupActive := 0
+	si, ei := 0, 0
+	gen := candGen{placements: placements, byStart: byStart, byEnd: byEnd, dur: dur}
+	for t := int64(0); t <= limit; {
+		// Admit placements entering the window: Start < t+dur. A
+		// placement that also already ended (End <= t) is retired by the
+		// second cursor in the same step, so the profile stays exact.
+		for si < n && placements[byStart[si]].Start < t+dur {
+			p := &placements[byStart[si]]
+			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+				if occ[wire] == 0 {
+					busy |= 1 << uint(wire)
+				}
+				occ[wire]++
+			}
+			if j.Group != "" && p.Job.Group == j.Group {
+				groupActive++
+			}
+			si++
+		}
+		for ei < n && placements[byEnd[ei]].End <= t {
+			p := &placements[byEnd[ei]]
+			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+				occ[wire]--
+				if occ[wire] == 0 {
+					busy &^= 1 << uint(wire)
+				}
+			}
+			if j.Group != "" && p.Job.Group == j.Group {
+				groupActive--
+			}
+			ei++
+		}
+		if groupActive == 0 {
+			if m := runMask(^busy&f.widthMask, w); m != 0 {
+				return t, bits.TrailingZeros64(m), true
+			}
+		}
+		nt := gen.next(t)
+		if nt == math.MaxInt64 {
+			break
+		}
+		t = nt
+	}
+	return 0, 0, false
+}
+
+// runMask reduces a free-wire mask to the set of band starts: bit i of
+// the result is set iff bits i..i+w-1 of free are all set. The shift-
+// and-AND doubling runs in O(log w) word operations; the lowest set bit
+// of the result is the lowest free band, matching the counter scan's
+// first-run answer exactly.
+func runMask(free uint64, w int) uint64 {
+	m := free
+	d := 1
+	for d < w {
+		s := d
+		if s > w-d {
+			s = w - d
+		}
+		m &= m >> uint(s)
+		d += s
+	}
+	return m
+}
+
+// earliestFitScan is the counter-scan reference implementation and the
+// fallback for bins wider than 64 wires.
+func (f *fitter) earliestFitScan(j *Job, w int, dur int64, placements []Placement, limit int64) (int64, int, bool) {
+	n := len(placements)
 	byStart, byEnd := f.byStart, f.byEnd
 
 	occ := f.occ[:f.binWidth]
 	clear(occ)
 	groupActive := 0
 	si, ei := 0, 0
-	prev := int64(-1)
-	for _, t := range cands {
-		if t == prev {
-			continue
-		}
-		prev = t
-		// Admit placements entering the window: Start < t+dur. A
-		// placement that also already ended (End <= t) is retired by the
-		// second cursor in the same step, so the profile stays exact.
+	gen := candGen{placements: placements, byStart: byStart, byEnd: byEnd, dur: dur}
+	for t := int64(0); t <= limit; {
 		for si < n && placements[byStart[si]].Start < t+dur {
 			p := &placements[byStart[si]]
 			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
@@ -139,27 +272,36 @@ func (f *fitter) earliestFit(j *Job, w int, dur int64, placements []Placement) (
 			}
 			ei++
 		}
-		if groupActive > 0 {
-			continue
-		}
-		// Lowest contiguous band of w free wires in the profile.
-		run := 0
-		for wire := 0; wire < f.binWidth; wire++ {
-			if occ[wire] != 0 {
-				run = 0
-				continue
+		if groupActive == 0 {
+			// Lowest contiguous band of w free wires in the profile.
+			run := 0
+			for wire := 0; wire < f.binWidth; wire++ {
+				if occ[wire] != 0 {
+					run = 0
+					continue
+				}
+				run++
+				if run >= w {
+					return t, wire - w + 1, true
+				}
 			}
-			run++
-			if run >= w {
-				return t, wire - w + 1, true
-			}
 		}
+		nt := gen.next(t)
+		if nt == math.MaxInt64 {
+			break
+		}
+		t = nt
 	}
 	return 0, 0, false
 }
 
 // bestPlacement finds the placement of j minimizing (end, width, start,
-// wire) against the current placements.
+// wire) against the current placements. One pair of sorted cursor
+// orders serves every width option of the job; options whose bare
+// duration already exceeds the incumbent end are skipped, and each
+// option's sweep stops at the last start that could still tie the
+// incumbent — both prunes are exact under the (end, width, start, wire)
+// order, so the chosen placement is identical to an unpruned search.
 func (f *fitter) bestPlacement(j *Job, placements []Placement) (Placement, bool) {
 	var best Placement
 	found := false
@@ -181,7 +323,14 @@ func (f *fitter) bestPlacement(j *Job, placements []Placement) (Placement, bool)
 
 	f.prepare(placements)
 	for _, opt := range f.opts[j] {
-		t, wireLo, ok := f.earliestFit(j, opt.Width, opt.Time, placements)
+		limit := int64(math.MaxInt64)
+		if found {
+			if opt.Time > best.End {
+				continue // even a start at 0 ends after the incumbent
+			}
+			limit = best.End - opt.Time
+		}
+		t, wireLo, ok := f.earliestFit(j, opt.Width, opt.Time, placements, limit)
 		if !ok {
 			continue
 		}

@@ -14,6 +14,7 @@ type Option func(*config)
 type config struct {
 	improvePasses int
 	paretoOnly    bool
+	warm          *Schedule
 }
 
 // WithImprovePasses bounds the post-packing improvement loop; 0 disables
@@ -28,6 +29,26 @@ func WithImprovePasses(n int) Option {
 // to measure the value of Pareto pruning; it never improves the result.
 func WithFullStaircase() Option {
 	return func(c *config) { c.paretoOnly = false }
+}
+
+// WithWarmStart seeds the packing with a schedule of the same job set
+// from an adjacent (typically narrower) bin: a schedule packed at width
+// W is feasible verbatim in any wider bin, so the optimizer adopts its
+// placements — matching jobs by ID and re-deriving durations from the
+// current staircases — and goes straight to the repack/improve polish,
+// which re-places every job against the wider bin, instead of packing
+// three orderings from scratch. A seed that does not match the job set
+// (different IDs, widths outside the staircase, or an infeasible
+// layout) is ignored and the packer falls back to the cold path, so a
+// stale seed can never corrupt a result.
+//
+// Warm-started packing follows a different search trajectory than cold
+// packing: makespans stay close (the polish loops are shared and
+// monotone) but are not guaranteed identical. Sweep drivers that must
+// reproduce cold results exactly — the paper-table reproductions — must
+// not use it; see core.SweepOptions.WarmStart for the opt-in chaining.
+func WithWarmStart(seed *Schedule) Option {
+	return func(c *config) { c.warm = seed }
 }
 
 // Optimize packs the jobs into a TAM of the given width and returns a
@@ -101,6 +122,24 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 
 	shared := newFitter(newOptionTable(jobs, width, cfg), width, cfg)
 
+	// A usable warm seed replaces the three cold packing orderings: the
+	// adopted schedule is already feasible at this width, so the
+	// repack/improve polish — the same loops the cold path runs on its
+	// winner — does all remaining work, with repack letting every job
+	// widen into the new wires.
+	if cfg.warm != nil {
+		if s := adoptSeed(jobs, width, cfg.warm); s != nil {
+			if cfg.improvePasses > 0 {
+				repack(s, shared)
+				improve(s, shared)
+			}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("tam: internal error: produced invalid schedule: %w", err)
+			}
+			return s, nil
+		}
+	}
+
 	results := make([]*Schedule, len(orderings))
 	errs := make([]error, len(orderings))
 	var wg sync.WaitGroup
@@ -146,6 +185,40 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 		return nil, fmt.Errorf("tam: internal error: produced invalid schedule: %w", err)
 	}
 	return best, nil
+}
+
+// adoptSeed rebuilds a warm-start seed over this Optimize call's job
+// set: placements are matched by job ID, durations re-derived from the
+// current staircases, and the result validated against the (possibly
+// wider) bin. It returns nil if the seed does not describe exactly this
+// job set or is not feasible here, in which case the caller packs cold.
+func adoptSeed(jobs []*Job, width int, seed *Schedule) *Schedule {
+	if seed == nil || len(seed.Placements) != len(jobs) || seed.Width > width {
+		return nil
+	}
+	byID := make(map[string]*Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	s := &Schedule{Width: width, Placements: make([]Placement, 0, len(jobs))}
+	for i := range seed.Placements {
+		sp := &seed.Placements[i]
+		j := byID[sp.Job.ID]
+		if j == nil || sp.Width < j.Options[0].Width || sp.Width > width {
+			return nil
+		}
+		delete(byID, sp.Job.ID) // each job exactly once
+		p := Placement{Job: j, Width: sp.Width, Start: sp.Start, WireLo: sp.WireLo}
+		p.End = p.Start + timeFor(j, p.Width)
+		s.Placements = append(s.Placements, p)
+		if p.End > s.Makespan {
+			s.Makespan = p.End
+		}
+	}
+	if len(byID) != 0 || s.Validate() != nil {
+		return nil
+	}
+	return s
 }
 
 // packList packs the jobs in the given order and runs the improvement

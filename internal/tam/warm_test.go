@@ -1,0 +1,200 @@
+package tam
+
+import (
+	"testing"
+
+	"mixsoc/internal/wrapper"
+)
+
+// A warm start from a narrower bin must produce a valid schedule that
+// is never worse than the seed: adoption is verbatim and the polish
+// loops are monotone.
+func TestWarmStartNeverWorseThanSeed(t *testing.T) {
+	jobs := digitalJobs(t, 64)
+	for _, step := range [][2]int{{24, 32}, {32, 40}, {40, 64}} {
+		seed, err := Optimize(jobs, step[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Optimize(jobs, step[1], WithWarmStart(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.Validate(); err != nil {
+			t.Fatalf("%d->%d: warm schedule invalid: %v", step[0], step[1], err)
+		}
+		if warm.Width != step[1] {
+			t.Fatalf("%d->%d: width = %d", step[0], step[1], warm.Width)
+		}
+		if warm.Makespan > seed.Makespan {
+			t.Errorf("%d->%d: warm makespan %d worse than seed %d", step[0], step[1], warm.Makespan, seed.Makespan)
+		}
+		// And close to cold quality (the polish loops are shared).
+		cold, err := Optimize(jobs, step[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := float64(warm.Makespan) / float64(cold.Makespan); ratio > 1.15 {
+			t.Errorf("%d->%d: warm makespan %d is %.2fx the cold %d", step[0], step[1], warm.Makespan, ratio, cold.Makespan)
+		}
+	}
+}
+
+// Warm-started runs are deterministic: same seed, same result.
+func TestWarmStartDeterministic(t *testing.T) {
+	jobs := digitalJobs(t, 48)
+	seed, err := Optimize(jobs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Optimize(jobs, 48, WithWarmStart(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s, err := Optimize(jobs, 48, WithWarmStart(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.CSV() != ref.CSV() {
+			t.Fatalf("run %d: warm schedule differs from first run", i)
+		}
+	}
+}
+
+// A seed that does not describe the job set is ignored, and the result
+// is exactly the cold packing.
+func TestWarmStartIgnoresForeignSeed(t *testing.T) {
+	jobs := digitalJobs(t, 48)
+	cold, err := Optimize(jobs, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := &Schedule{Width: 8, Makespan: 10, Placements: []Placement{
+		{Job: fixedJob("not-a-p93791-core", 2, 10), Width: 2, Start: 0, End: 10, WireLo: 0},
+	}}
+	warm, err := Optimize(jobs, 48, WithWarmStart(foreign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CSV() != cold.CSV() {
+		t.Error("foreign seed was not ignored")
+	}
+	// A nil seed is likewise a no-op.
+	warm, err = Optimize(jobs, 48, WithWarmStart(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CSV() != cold.CSV() {
+		t.Error("nil seed was not ignored")
+	}
+}
+
+// A seed from a WIDER bin than the target must be rejected (its
+// placements may not fit), falling back to cold packing.
+func TestWarmStartRejectsWiderSeed(t *testing.T) {
+	jobs := digitalJobs(t, 64)
+	seed, err := Optimize(jobs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Optimize(jobs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Optimize(jobs, 32, WithWarmStart(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Validate(); err != nil {
+		t.Fatalf("warm schedule invalid: %v", err)
+	}
+	if warm.CSV() != cold.CSV() {
+		t.Error("wider seed was not rejected")
+	}
+}
+
+// adoptSeed must re-derive durations from the current staircases and
+// reject seeds whose widths fall below a job's narrowest option.
+func TestAdoptSeedRederivesDurations(t *testing.T) {
+	a := &Job{ID: "a", Options: []wrapper.Point{{Width: 2, Time: 10}, {Width: 4, Time: 6}}}
+	seed := &Schedule{Width: 4, Makespan: 10, Placements: []Placement{
+		{Job: &Job{ID: "a"}, Width: 2, Start: 0, End: 99, WireLo: 1}, // stale End
+	}}
+	s := adoptSeed([]*Job{a}, 6, seed)
+	if s == nil {
+		t.Fatal("seed not adopted")
+	}
+	if s.Placements[0].End != 10 || s.Placements[0].Job != a {
+		t.Errorf("adopted placement = %+v, want End 10 bound to job a", s.Placements[0])
+	}
+	// Width below the narrowest option: reject.
+	bad := &Schedule{Width: 4, Makespan: 10, Placements: []Placement{
+		{Job: &Job{ID: "a"}, Width: 1, Start: 0, End: 10, WireLo: 0},
+	}}
+	if adoptSeed([]*Job{a}, 6, bad) != nil {
+		t.Error("sub-staircase width accepted")
+	}
+	// Missing job: reject.
+	b := &Job{ID: "b", Options: []wrapper.Point{{Width: 1, Time: 5}}}
+	if adoptSeed([]*Job{a, b}, 6, seed) != nil {
+		t.Error("incomplete seed accepted")
+	}
+}
+
+// BenchmarkEarliestFit measures one bestPlacement query — the packer's
+// innermost operation — against a realistic packed schedule, comparing
+// the bitmask band search with the counter-scan reference.
+func BenchmarkEarliestFit(b *testing.B) {
+	jobs := digitalJobs(b, 64)
+	s, err := Optimize(jobs, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := jobs[len(jobs)-1]
+	placements := s.Placements[:len(s.Placements)-1]
+	cfg := config{improvePasses: len(jobs), paretoOnly: true}
+	opts := newOptionTable(jobs, 64, cfg)
+	run := func(b *testing.B, f *fitter) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := f.bestPlacement(probe, placements); !ok {
+				b.Fatal("no placement found")
+			}
+		}
+	}
+	b.Run("bitmask", func(b *testing.B) {
+		run(b, newFitter(opts, 64, cfg))
+	})
+	b.Run("counter-scan", func(b *testing.B) {
+		f := newFitter(opts, 64, cfg)
+		f.useMask = false
+		run(b, f)
+	})
+}
+
+// BenchmarkWarmStart compares cold packing with warm-starting from the
+// adjacent narrower width.
+func BenchmarkWarmStart(b *testing.B) {
+	jobs := digitalJobs(b, 48)
+	seed, err := Optimize(jobs, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Optimize(jobs, 48); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Optimize(jobs, 48, WithWarmStart(seed)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package wrapper
+
+import (
+	"sort"
+	"sync"
+
+	"mixsoc/internal/itc02"
+)
+
+// StaircaseCache computes each module's Pareto staircase once, up to a
+// design-level maximum width, and serves every narrower width as a
+// prefix slice of that one computation. A staircase point at width w is
+// on the Pareto front regardless of how far the sweep extends — the
+// "strictly improves over every smaller width" criterion never looks
+// rightward — so Pareto(m, w) for any w ≤ maxW is exactly the prefix of
+// Pareto(m, maxW) whose widths do not exceed w. That prefix property is
+// what lets one cache serve a whole TAM-width sweep (Table 3 and
+// Table 4 evaluate the same modules at 3-5 widths each) for the cost of
+// a single full-width staircase per module.
+//
+// The cache is safe for concurrent use; the returned slices are shared
+// and must be treated as read-only, which is how the TAM packer already
+// consumes staircases. A nil *StaircaseCache is valid and falls back to
+// computing staircases from scratch, as do requests beyond maxW.
+type StaircaseCache struct {
+	maxW int
+
+	mu sync.Mutex
+	m  map[*itc02.Module]*stairEntry
+}
+
+type stairEntry struct {
+	once sync.Once
+	pts  []Point
+	err  error
+}
+
+// NewStaircaseCache returns a cache that precomputes staircases up to
+// maxW wires, typically the widest TAM width a sweep will evaluate.
+func NewStaircaseCache(maxW int) *StaircaseCache {
+	if maxW < 1 {
+		maxW = 1
+	}
+	return &StaircaseCache{maxW: maxW, m: map[*itc02.Module]*stairEntry{}}
+}
+
+// MaxWidth reports the width the cache precomputes staircases up to.
+func (c *StaircaseCache) MaxWidth() int { return c.maxW }
+
+// Pareto returns the module's staircase of useful widths up to w, the
+// same points Pareto(m, w) computes, served as a shared read-only
+// prefix slice of the cached full-width staircase.
+func (c *StaircaseCache) Pareto(m *itc02.Module, w int) ([]Point, error) {
+	if c == nil || m == nil || w < 1 || w > c.maxW {
+		return Pareto(m, w)
+	}
+	c.mu.Lock()
+	e := c.m[m]
+	if e == nil {
+		e = &stairEntry{}
+		c.m[m] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.pts, e.err = Pareto(m, c.maxW)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	// First index whose width exceeds w; the three-index slice keeps
+	// callers from appending into the shared tail.
+	i := sort.Search(len(e.pts), func(i int) bool { return e.pts[i].Width > w })
+	return e.pts[:i:i], nil
+}

@@ -1,0 +1,140 @@
+package wrapper
+
+import (
+	"sync"
+	"testing"
+
+	"mixsoc/internal/itc02"
+)
+
+// The cache's whole correctness argument is the prefix property: the
+// staircase up to w is the prefix of the staircase up to maxW. Check it
+// against the direct computation for every p93791 module at every width
+// the experiments sweep (and a few odd ones).
+func TestStaircaseCachePrefixProperty(t *testing.T) {
+	cache := NewStaircaseCache(64)
+	for _, m := range itc02.P93791().Cores() {
+		for _, w := range []int{1, 2, 7, 16, 32, 40, 48, 56, 63, 64} {
+			want, err := Pareto(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cache.Pareto(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("module %d w=%d: %d points, want %d", m.ID, w, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("module %d w=%d point %d: %+v, want %+v", m.ID, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStaircaseCacheFallbacks(t *testing.T) {
+	m := itc02.P93791().Cores()[0]
+	// Beyond maxW: computed directly, still correct.
+	cache := NewStaircaseCache(16)
+	want, err := Pareto(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cache.Pareto(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("beyond-maxW: %d points, want %d", len(got), len(want))
+	}
+	// Invalid width errors exactly like the direct path.
+	if _, err := cache.Pareto(m, 0); err == nil {
+		t.Error("w=0 did not error")
+	}
+	// A nil cache is a transparent pass-through.
+	var nilCache *StaircaseCache
+	if _, err := nilCache.Pareto(m, 8); err != nil {
+		t.Errorf("nil cache: %v", err)
+	}
+	if _, err := cache.Pareto(nil, 8); err == nil {
+		t.Error("nil module did not error")
+	}
+}
+
+// The returned prefix slices are capped, so a caller appending to one
+// cannot clobber the shared tail.
+func TestStaircaseCacheSliceIsolation(t *testing.T) {
+	m := itc02.P93791().Cores()[0]
+	cache := NewStaircaseCache(64)
+	narrow, err := cache.Pareto(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cache.Pareto(m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow) == 0 || len(full) <= len(narrow) {
+		t.Skipf("module staircase too flat for the test: %d/%d points", len(narrow), len(full))
+	}
+	ref := full[len(narrow)]
+	_ = append(narrow, Point{Width: 999, Time: 1})
+	if full[len(narrow)] != ref {
+		t.Error("append through a prefix slice clobbered the cached staircase")
+	}
+}
+
+func TestStaircaseCacheConcurrent(t *testing.T) {
+	cache := NewStaircaseCache(64)
+	mods := itc02.P93791().Cores()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, m := range mods {
+				if _, err := cache.Pareto(m, 8+(g*8)%57); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkStaircaseCache measures serving a full Table 3/4 sweep's
+// staircases — every p93791 module at every sweep width — from scratch
+// versus through the design-level cache.
+func BenchmarkStaircaseCache(b *testing.B) {
+	mods := itc02.P93791().Cores()
+	widths := []int{32, 40, 48, 56, 64}
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, w := range widths {
+				for _, m := range mods {
+					if _, err := Pareto(m, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache := NewStaircaseCache(64)
+			for _, w := range widths {
+				for _, m := range mods {
+					if _, err := cache.Pareto(m, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}

@@ -137,10 +137,23 @@ func LoadAnalogCores(r io.Reader) ([]*AnalogCore, error) { return analog.ParseCo
 // FormatAnalogCores renders analog cores back to the text format.
 func FormatAnalogCores(cores []*AnalogCore) string { return analog.FormatCores(cores) }
 
+// SweepOptions configures SweepWith: exhaustive vs heuristic solving,
+// cross-width warm-starting, and the worker budget.
+type SweepOptions = core.SweepOptions
+
 // Sweep solves the planning problem across several TAM widths and
 // weight settings and returns every solved point; see BestSweepPoint.
 func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool) ([]core.SweepPoint, error) {
 	return core.Sweep(d, widths, weights, exhaustive, nil)
+}
+
+// SweepWith is Sweep with explicit options; in particular
+// SweepOptions.WarmStart chains the TAM packings across adjacent widths
+// (each width's schedules seed the next width's improve loop), which is
+// markedly faster for wide exploratory sweeps at the price of
+// makespans that can deviate a few percent from a cold sweep.
+func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]core.SweepPoint, error) {
+	return core.SweepWith(d, widths, weights, opt)
 }
 
 // BestSweepPoint picks the cheapest point of a sweep, preferring
