@@ -92,17 +92,21 @@ func comparePair(oldR, newR *report, regressPct, minSeconds float64) comparison 
 	return c
 }
 
-// runCompare diffs two trails and renders a report to w-like lines.
-// It returns false when any pair regressed in time or drifted in
-// metrics (metric drift tolerated when allowDrift is set).
-func runCompare(oldPath, newPath string, regressPct, minSeconds float64, allowDrift bool) ([]string, bool, error) {
+// runCompare diffs two trails and renders a report as lines. The second
+// return value names every failure precisely — which benchmark, and
+// which metric with its old and new values, or the wall-time growth —
+// so a failing CI log (or log.Fatal) says what drifted instead of just
+// "see above"; it is empty when the trail is healthy. Metric drift is
+// excluded from the failures (but still rendered) when allowDrift is
+// set.
+func runCompare(oldPath, newPath string, regressPct, minSeconds float64, allowDrift bool) (lines, failures []string, err error) {
 	oldReps, err := loadReports(oldPath)
 	if err != nil {
-		return nil, false, fmt.Errorf("old trail: %w", err)
+		return nil, nil, fmt.Errorf("old trail: %w", err)
 	}
 	newReps, err := loadReports(newPath)
 	if err != nil {
-		return nil, false, fmt.Errorf("new trail: %w", err)
+		return nil, nil, fmt.Errorf("new trail: %w", err)
 	}
 
 	names := make([]string, 0, len(oldReps))
@@ -111,14 +115,12 @@ func runCompare(oldPath, newPath string, regressPct, minSeconds float64, allowDr
 	}
 	sort.Strings(names)
 
-	var lines []string
-	ok := true
 	for _, name := range names {
 		oldR := oldReps[name]
 		newR, found := newReps[name]
 		if !found {
 			lines = append(lines, fmt.Sprintf("%-16s MISSING from new trail", name))
-			ok = false
+			failures = append(failures, fmt.Sprintf("%s: missing from new trail", name))
 			continue
 		}
 		c := comparePair(oldR, newR, regressPct, minSeconds)
@@ -129,14 +131,15 @@ func runCompare(oldPath, newPath string, regressPct, minSeconds float64, allowDr
 		var statuses []string
 		if c.Regressed {
 			statuses = append(statuses, fmt.Sprintf("REGRESSED (> %.0f%%)", regressPct))
-			ok = false
+			failures = append(failures, fmt.Sprintf("%s: wall time %.3fs -> %.3fs (%s, limit %.0f%%)",
+				name, c.OldSeconds, c.NewSeconds, delta, regressPct))
 		}
 		if len(c.Drifted) > 0 {
 			if allowDrift {
 				statuses = append(statuses, "metrics drifted (tolerated)")
 			} else {
 				statuses = append(statuses, "METRICS DRIFTED")
-				ok = false
+				failures = append(failures, fmt.Sprintf("%s: metric %s", name, strings.Join(c.Drifted, "; metric ")))
 			}
 		}
 		status := "ok"
@@ -162,5 +165,5 @@ func runCompare(oldPath, newPath string, regressPct, minSeconds float64, allowDr
 	for _, name := range extra {
 		lines = append(lines, fmt.Sprintf("%-16s new benchmark (%.3fs), no baseline", name, newReps[name].BestSeconds))
 	}
-	return lines, ok, nil
+	return lines, failures, nil
 }

@@ -54,12 +54,12 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.1, Metrics: map[string]float64{"n": 7}})
 	writeReport(t, newDir, report{Name: "c", BestSeconds: 0.1, Metrics: nil})
 
-	lines, ok, err := runCompare(oldDir, newDir, 15, 0.01, false)
+	lines, failures, err := runCompare(oldDir, newDir, 15, 0.01, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
-		t.Errorf("healthy trail flagged:\n%s", strings.Join(lines, "\n"))
+	if len(failures) != 0 {
+		t.Errorf("healthy trail flagged: %v\n%s", failures, strings.Join(lines, "\n"))
 	}
 	joined := strings.Join(lines, "\n")
 	for _, frag := range []string{"a  ", "b  ", "new benchmark"} {
@@ -68,40 +68,46 @@ func TestRunCompareEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Regress b beyond threshold.
+	// Regress b beyond threshold; the failure names the benchmark and
+	// both wall times.
 	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.5, Metrics: map[string]float64{"n": 7}})
-	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	_, failures, err = runCompare(oldDir, newDir, 15, 0.01, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Error("25% regression not flagged")
+	if len(failures) != 1 || !strings.Contains(failures[0], "b: wall time 2.000s -> 2.500s") {
+		t.Errorf("25%% regression misreported: %v", failures)
 	}
 
 	// Regressing AND drifting reports both statuses, and tolerating the
 	// drift must not wave the time regression through.
 	writeReport(t, newDir, report{Name: "b", BestSeconds: 3.0, Metrics: map[string]float64{"n": 9}})
-	lines, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	lines, failures, err = runCompare(oldDir, newDir, 15, 0.01, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	joined = strings.Join(lines, "\n")
-	if ok || !strings.Contains(joined, "REGRESSED") || !strings.Contains(joined, "METRICS DRIFTED") {
-		t.Errorf("combined regression+drift misreported:\n%s", joined)
+	if len(failures) != 2 || !strings.Contains(joined, "REGRESSED") || !strings.Contains(joined, "METRICS DRIFTED") {
+		t.Errorf("combined regression+drift misreported (%v):\n%s", failures, joined)
 	}
-	if _, ok, _ = runCompare(oldDir, newDir, 15, 0.01, true); ok {
-		t.Error("-allow-metric-drift waved a time regression through")
+	// The drift failure names the metric and its values, so a many-entry
+	// trail still tells the operator exactly what moved.
+	if !strings.Contains(strings.Join(failures, "\n"), "b: metric n: 7 -> 9") {
+		t.Errorf("drift failure does not name the metric: %v", failures)
+	}
+	if _, failures, _ = runCompare(oldDir, newDir, 15, 0.01, true); len(failures) != 1 {
+		t.Errorf("-allow-metric-drift waved a time regression through: %v", failures)
 	}
 
 	// Drift a metric; tolerated only with allowDrift.
 	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.0, Metrics: map[string]float64{"n": 8}})
-	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
-	if err != nil || ok {
-		t.Errorf("metric drift not flagged (ok=%v err=%v)", ok, err)
+	_, failures, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil || len(failures) != 1 || !strings.Contains(failures[0], "metric n: 7 -> 8") {
+		t.Errorf("metric drift misreported (failures=%v err=%v)", failures, err)
 	}
-	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, true)
-	if err != nil || !ok {
-		t.Errorf("tolerated drift still failed (ok=%v err=%v)", ok, err)
+	_, failures, err = runCompare(oldDir, newDir, 15, 0.01, true)
+	if err != nil || len(failures) != 0 {
+		t.Errorf("tolerated drift still failed (failures=%v err=%v)", failures, err)
 	}
 
 	// A benchmark vanishing from the new trail fails the compare.
@@ -109,14 +115,14 @@ func TestRunCompareEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	writeReport(t, newDir, report{Name: "b", BestSeconds: 2.0, Metrics: map[string]float64{"n": 7}})
-	_, ok, err = runCompare(oldDir, newDir, 15, 0.01, false)
-	if err != nil || ok {
-		t.Errorf("missing benchmark not flagged (ok=%v err=%v)", ok, err)
+	_, failures, err = runCompare(oldDir, newDir, 15, 0.01, false)
+	if err != nil || len(failures) != 1 || !strings.Contains(failures[0], "a: missing") {
+		t.Errorf("missing benchmark misreported (failures=%v err=%v)", failures, err)
 	}
 
 	// Single-file form.
-	_, ok, err = runCompare(filepath.Join(oldDir, "BENCH_b.json"), filepath.Join(newDir, "BENCH_b.json"), 15, 0.01, false)
-	if err != nil || !ok {
-		t.Errorf("single-file compare failed (ok=%v err=%v)", ok, err)
+	_, failures, err = runCompare(filepath.Join(oldDir, "BENCH_b.json"), filepath.Join(newDir, "BENCH_b.json"), 15, 0.01, false)
+	if err != nil || len(failures) != 0 {
+		t.Errorf("single-file compare failed (failures=%v err=%v)", failures, err)
 	}
 }

@@ -6,6 +6,9 @@
 //
 //	msoc-bench [-out dir] [-repeat n] [-workers n] [-bench name]
 //	msoc-bench -compare old new [-regress-pct p] [-allow-metric-drift]
+//	msoc-bench -trend trail1 trail2 trail3... [-regress-pct p]
+//	msoc-bench -shard N/M [-grid paper|table4] [-out dir]
+//	msoc-bench -merge dir-or-files...
 //
 // Each benchmark regenerates a full experiment through the same code
 // paths as cmd/msoc-tables and the go test benchmarks, records the best
@@ -15,7 +18,21 @@
 // The -compare form diffs two perf trails — single BENCH_*.json files
 // or directories of them — and exits non-zero when a benchmark's best
 // wall time regressed by more than -regress-pct (default 15%) or any
-// headline metric changed, making the trail enforceable in CI.
+// headline metric changed, naming exactly which benchmark and metric;
+// this makes the trail enforceable in CI.
+//
+// The -trend form reads a whole chronological sequence of trails
+// (files, directories, or one directory of trail subdirectories) and
+// prints per-benchmark wall-time trajectories, exiting non-zero when a
+// benchmark's latest time regressed beyond -regress-pct against its
+// historical best.
+//
+// The -shard and -merge forms distribute the experiment grid across
+// machines: -shard N/M computes the Nth of M deterministic slices of
+// the grid's cells and writes a mergeable SHARD_*.json partial result;
+// -merge recombines a complete set of partials into the full tables,
+// bit-identical to an unsharded run, and fails loudly when cells are
+// missing or duplicated.
 package main
 
 import (
@@ -26,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"mixsoc/internal/analog"
@@ -141,48 +159,90 @@ func main() {
 	workers := flag.Int("workers", 0, "cap the worker pool (0 = all CPUs)")
 	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, sweep-warm, or all")
 	compare := flag.Bool("compare", false, "compare two perf trails (files or directories) given as positional args and exit non-zero on regression")
-	regressPct := flag.Float64("regress-pct", 15, "with -compare: allowed wall-time growth in percent")
-	minSeconds := flag.Float64("min-seconds", 0.01, "with -compare: skip the time check when both runs are under this many seconds (noise floor)")
+	trend := flag.Bool("trend", false, "print per-benchmark wall-time trajectories across the trails given as positional args (chronological order) and exit non-zero on regression")
+	shardSpec := flag.String("shard", "", "compute one shard of the experiment grid, as N/M (e.g. 0/2); writes SHARD_N_of_M.json into -out")
+	gridName := flag.String("grid", "paper", "with -shard: which grid to run, paper (Table 3 + Table 4 + width curve) or table4")
+	merge := flag.Bool("merge", false, "merge the SHARD_*.json partial results given as positional args (files or directories) and print the recombined tables")
+	regressPct := flag.Float64("regress-pct", 15, "with -compare/-trend: allowed wall-time growth in percent")
+	minSeconds := flag.Float64("min-seconds", 0.01, "with -compare/-trend: skip the time check under this many seconds (noise floor)")
 	allowDrift := flag.Bool("allow-metric-drift", false, "with -compare: tolerate changed headline metrics instead of failing")
 	flag.Parse()
 
+	// flag.Parse stops at the first positional, so tolerate the natural
+	// `-compare old new -regress-pct 20` ordering by re-parsing whatever
+	// follows the positional arguments.
+	reparseTail := func(mode string, args []string) []string {
+		split := len(args)
+		for i, a := range args {
+			if strings.HasPrefix(a, "-") {
+				split = i
+				break
+			}
+		}
+		if split == len(args) {
+			return args
+		}
+		fs := flag.NewFlagSet(mode, flag.ExitOnError)
+		fs.Float64Var(regressPct, "regress-pct", *regressPct, "allowed wall-time growth in percent")
+		fs.Float64Var(minSeconds, "min-seconds", *minSeconds, "noise floor for the time check")
+		fs.BoolVar(allowDrift, "allow-metric-drift", *allowDrift, "tolerate changed headline metrics")
+		if err := fs.Parse(args[split:]); err != nil {
+			log.Fatal(err)
+		}
+		return append(append([]string{}, args[:split]...), fs.Args()...)
+	}
+
+	// Cap the pool before dispatching on mode, so -workers also governs
+	// the -shard grid computation.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+
 	if *compare {
-		args := flag.Args()
-		if len(args) < 2 {
+		args := reparseTail("compare", flag.Args())
+		if len(args) != 2 {
 			log.Fatal("-compare needs two arguments: old and new (BENCH_*.json files or directories)")
 		}
-		// flag.Parse stops at the first positional, so tolerate the
-		// natural `-compare old new -regress-pct 20` ordering by
-		// re-parsing whatever follows the two paths.
-		if len(args) > 2 {
-			fs := flag.NewFlagSet("compare", flag.ExitOnError)
-			fs.Float64Var(regressPct, "regress-pct", *regressPct, "allowed wall-time growth in percent")
-			fs.Float64Var(minSeconds, "min-seconds", *minSeconds, "noise floor for the time check")
-			fs.BoolVar(allowDrift, "allow-metric-drift", *allowDrift, "tolerate changed headline metrics")
-			if err := fs.Parse(args[2:]); err != nil {
-				log.Fatal(err)
-			}
-			if fs.NArg() != 0 {
-				log.Fatalf("-compare takes exactly two paths, got extra arguments %v", fs.Args())
-			}
-		}
-		lines, ok, err := runCompare(args[0], args[1], *regressPct, *minSeconds, *allowDrift)
+		lines, failures, err := runCompare(args[0], args[1], *regressPct, *minSeconds, *allowDrift)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, l := range lines {
 			fmt.Println(l)
 		}
-		if !ok {
-			log.Fatal("perf trail regressed (see above)")
+		if len(failures) > 0 {
+			log.Fatalf("perf trail check failed:\n  %s", strings.Join(failures, "\n  "))
 		}
 		fmt.Printf("perf trail ok: no regression beyond %.0f%%, metrics stable\n", *regressPct)
 		return
 	}
 
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	if *trend {
+		args := reparseTail("trend", flag.Args())
+		lines, failures, err := runTrend(args, *regressPct, *minSeconds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if len(failures) > 0 {
+			log.Fatalf("perf trend regressed:\n  %s", strings.Join(failures, "\n  "))
+		}
+		fmt.Printf("perf trend ok: no regression beyond %.0f%% vs historical best\n", *regressPct)
+		return
 	}
+
+	if *shardSpec != "" {
+		runShardMode(*shardSpec, *gridName, *out)
+		return
+	}
+
+	if *merge {
+		runMergeMode(flag.Args())
+		return
+	}
+
 	if *repeat < 1 {
 		*repeat = 1
 	}

@@ -1,0 +1,137 @@
+package main
+
+// The -shard and -merge modes are the CLI face of the sharded grid
+// runner (internal/experiments): -shard computes one deterministic
+// slice of the experiment grid on this machine and writes a mergeable
+// partial result; -merge recombines a complete set of partials — e.g.
+// CI matrix artifacts — into the full tables, bit-identical to an
+// unsharded run.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mixsoc/internal/experiments"
+)
+
+// gridByName resolves the -grid flag.
+func gridByName(name string) (experiments.Grid, error) {
+	switch name {
+	case "paper":
+		return experiments.PaperGrid(), nil
+	case "table4":
+		return experiments.Table4Grid(), nil
+	}
+	return experiments.Grid{}, fmt.Errorf("unknown -grid %q (want paper or table4)", name)
+}
+
+// runShardMode computes shard N of an M-way split of the grid and
+// writes SHARD_N_of_M.json into out.
+func runShardMode(spec, gridName, out string) {
+	nStr, mStr, ok := strings.Cut(spec, "/")
+	n, errN := strconv.Atoi(nStr)
+	m, errM := strconv.Atoi(mStr)
+	if !ok || errN != nil || errM != nil {
+		log.Fatalf("-shard wants N/M (e.g. 0/2), got %q", spec)
+	}
+	g, err := gridByName(gridName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := experiments.RunShard(nil, g, n, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	secs := time.Since(start).Seconds()
+	path := filepath.Join(out, fmt.Sprintf("SHARD_%d_of_%d.json", n, m))
+	if err := experiments.WriteShardFile(path, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard %d/%d (%s grid): %d of %d cells in %.3fs -> %s\n",
+		n, m, gridName, len(res.CellIDs), len(g.Cells()), secs, path)
+}
+
+// collectShardFiles expands the -merge arguments into shard files: a
+// directory contributes its SHARD_*.json children, or — so CI artifact
+// layouts with one directory per matrix job merge without renaming —
+// its grandchildren one level down when it has no direct ones.
+func collectShardFiles(args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			return nil, fmt.Errorf("unexpected flag %q after -merge's paths; flags go before the positional arguments", a)
+		}
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "SHARD_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			matches, err = filepath.Glob(filepath.Join(a, "*", "SHARD_*.json"))
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no SHARD_*.json files under %s", a)
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	return files, nil
+}
+
+// runMergeMode recombines shard partials and prints the full tables.
+func runMergeMode(args []string) {
+	files, err := collectShardFiles(args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := make([]*experiments.ShardResult, 0, len(files))
+	for _, f := range files {
+		r, err := experiments.ReadShardFile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts = append(parts, r)
+	}
+	merged, err := experiments.Merge(parts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d shards covering %d cells\n\n", len(parts), len(merged.Grid.Cells()))
+	if merged.Table3 != nil {
+		fmt.Print(experiments.RenderTable3(merged.Table3))
+		fmt.Println()
+	}
+	if merged.Table4 != nil {
+		fmt.Print(experiments.RenderTable4(merged.Table4))
+		fmt.Printf("mean reduction %.2f%%, optimal %.1f%%\n\n", merged.Table4.MeanReduction(), 100*merged.Table4.OptimalFraction())
+	}
+	if len(merged.Curve) > 0 {
+		fmt.Println("all-share test time by TAM width:")
+		for _, s := range merged.Curve {
+			fmt.Printf("  W=%-3d  %d cycles\n", s.Width, s.Cycles)
+		}
+	}
+}

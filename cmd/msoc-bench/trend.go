@@ -1,0 +1,192 @@
+package main
+
+// The -trend mode reads a whole sequence of perf trails — successive
+// msoc-bench runs saved over time — and prints each benchmark's
+// wall-time trajectory. Where -compare is a pairwise gate, -trend is
+// the longitudinal view: it shows drift building up across many runs
+// and flags benchmarks whose latest time regressed beyond a threshold
+// against their historical best, naming the benchmark and both times.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// trail is one perf trail (one msoc-bench run) in a chronological
+// sequence.
+type trail struct {
+	label string
+	reps  map[string]*report
+}
+
+// resolveTrails interprets the -trend arguments. Each argument is one
+// trail — a BENCH_*.json file or a directory of them — in chronological
+// order. As a convenience, a single argument naming a directory whose
+// subdirectories hold trails expands to those subdirectories (sorted by
+// name, so date-stamped trail directories line up chronologically);
+// the expansion wins even when a stray BENCH_*.json sits at the top
+// level beside them.
+func resolveTrails(args []string) ([]trail, error) {
+	paths := args
+	if len(args) == 1 {
+		info, err := os.Stat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if info.IsDir() {
+			entries, err := os.ReadDir(args[0])
+			if err != nil {
+				return nil, err
+			}
+			var subTrails []string
+			for _, e := range entries {
+				if !e.IsDir() {
+					continue
+				}
+				sub := filepath.Join(args[0], e.Name())
+				benches, err := filepath.Glob(filepath.Join(sub, "BENCH_*.json"))
+				if err != nil {
+					return nil, err
+				}
+				if len(benches) > 0 {
+					subTrails = append(subTrails, sub)
+				}
+			}
+			if len(subTrails) >= 2 {
+				sort.Strings(subTrails)
+				paths = subTrails
+			}
+		}
+	}
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("-trend needs at least two trails (files, directories, or one directory of trail subdirectories), got %d", len(paths))
+	}
+	trails := make([]trail, 0, len(paths))
+	bases := map[string]int{}
+	for _, p := range paths {
+		reps, err := loadReports(p)
+		if err != nil {
+			return nil, fmt.Errorf("trail %s: %w", p, err)
+		}
+		trails = append(trails, trail{label: filepath.Base(p), reps: reps})
+		bases[filepath.Base(p)]++
+	}
+	// Identical base names (before/bench-results vs after/bench-results)
+	// would render indistinguishable columns; label those by their
+	// parent directory instead (the column is tail-truncated, so a
+	// parent/base compound would lose the distinguishing part).
+	for i, p := range paths {
+		if parent := filepath.Base(filepath.Dir(p)); bases[filepath.Base(p)] > 1 && parent != "." && parent != string(filepath.Separator) {
+			trails[i].label = parent
+		}
+	}
+	return trails, nil
+}
+
+// runTrend renders the wall-time trajectory of every benchmark across
+// the trails and returns precise failure descriptions for benchmarks
+// whose latest time exceeds their historical best by more than
+// regressPct percent (ignoring trajectories that never leave the
+// minSeconds noise floor). Metric changes along the sequence are
+// annotated but, unlike in -compare, not failures: the trend view is
+// longitudinal observability, the pairwise compare is the gate.
+func runTrend(args []string, regressPct, minSeconds float64) (lines, failures []string, err error) {
+	trails, err := resolveTrails(args)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	names := map[string]bool{}
+	for _, tr := range trails {
+		for name := range tr.reps {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	header := fmt.Sprintf("%-16s", "benchmark")
+	for _, tr := range trails {
+		header += fmt.Sprintf("  %10s", truncateLabel(tr.label, 10))
+	}
+	lines = append(lines, header, strings.Repeat("-", len(header)))
+
+	for _, name := range sorted {
+		line := fmt.Sprintf("%-16s", name)
+		best := -1.0  // best (lowest) time over all but the latest trail
+		last := -1.0  // latest recorded time
+		var firstRep, lastRep *report
+		for i, tr := range trails {
+			r, found := tr.reps[name]
+			if !found {
+				line += fmt.Sprintf("  %10s", "-")
+				continue
+			}
+			line += fmt.Sprintf("  %9.3fs", r.BestSeconds)
+			if firstRep == nil {
+				firstRep = r
+			}
+			lastRep = r
+			if i < len(trails)-1 && (best < 0 || r.BestSeconds < best) {
+				best = r.BestSeconds
+			}
+			if i == len(trails)-1 {
+				last = r.BestSeconds
+			}
+		}
+
+		status := ""
+		if last >= 0 && best >= 0 && (last >= minSeconds || best >= minSeconds) &&
+			last > best*(1+regressPct/100) {
+			status = fmt.Sprintf("  REGRESSED (best %.3fs, latest %.3fs, %+.1f%%)", best, last, 100*(last-best)/best)
+			failures = append(failures, fmt.Sprintf("%s: latest %.3fs vs best %.3fs (%+.1f%%, limit %.0f%%)",
+				name, last, best, 100*(last-best)/best, regressPct))
+		} else if last < 0 {
+			status = "  (absent from latest trail)"
+		}
+		lines = append(lines, line+status)
+
+		// Annotate metric changes between the trajectory's endpoints,
+		// including metrics that appeared or vanished along the way.
+		if firstRep != nil && lastRep != nil && firstRep != lastRep {
+			keys := map[string]bool{}
+			for k := range firstRep.Metrics {
+				keys[k] = true
+			}
+			for k := range lastRep.Metrics {
+				keys[k] = true
+			}
+			sorted := make([]string, 0, len(keys))
+			for k := range keys {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+			for _, k := range sorted {
+				ov, hadOld := firstRep.Metrics[k]
+				nv, hasNew := lastRep.Metrics[k]
+				switch {
+				case hadOld && hasNew && nv != ov:
+					lines = append(lines, fmt.Sprintf("                 metric %s: %v -> %v over the sequence", k, ov, nv))
+				case hadOld && !hasNew:
+					lines = append(lines, fmt.Sprintf("                 metric %s: %v -> (missing) over the sequence", k, ov))
+				case !hadOld && hasNew:
+					lines = append(lines, fmt.Sprintf("                 metric %s: (new) -> %v over the sequence", k, nv))
+				}
+			}
+		}
+	}
+	return lines, failures, nil
+}
+
+func truncateLabel(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}

@@ -41,6 +41,19 @@ type SweepOptions struct {
 	// Workers bounds the sweep's total CPU budget; 0 means
 	// DefaultWorkers.
 	Workers int
+	// Select, when non-nil, restricts the sweep to the grid points for
+	// which it returns true — the hook a sharded runner uses to solve
+	// only its cells of a larger (width, weights) grid. The returned
+	// slice holds only the selected points, still in weights-major
+	// order. In a cold sweep each selected point is bit-identical to
+	// the corresponding point of an unrestricted sweep; with WarmStart
+	// the chain runs over the selected widths only, each seeding from
+	// the nearest narrower *selected* width, so a point's makespan can
+	// differ from a full warm sweep's whenever the selection changes
+	// its seed (shard cold sweeps where exact reproduction matters).
+	// Schedule caches exist only for widths with at least one selected
+	// point — an unselected width is never packed.
+	Select func(width int, weights Weights) bool
 }
 
 // Sweep solves the planning problem across TAM widths and weight
@@ -62,7 +75,9 @@ func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configur
 // Without WarmStart the grid points fan out across the worker pool and
 // the result is bit-identical to a sequential cold sweep. With
 // WarmStart the width dimension runs in ascending order so each width
-// seeds the next (see SweepOptions.WarmStart).
+// seeds the next (see SweepOptions.WarmStart). With Select only the
+// chosen grid points are solved — and only their widths ever allocate
+// a schedule cache or design a wrapper staircase.
 func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]SweepPoint, error) {
 	if len(widths) == 0 || len(weights) == 0 {
 		return nil, fmt.Errorf("core: sweep needs at least one width and one weight setting")
@@ -71,9 +86,32 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 	if workers < 1 {
 		workers = DefaultWorkers()
 	}
-	stairs := wrapper.NewStaircaseCache(slices.Max(widths))
-	caches := make(map[int]*ScheduleCache, len(widths))
-	for _, w := range widths {
+	selected := func(w int, wt Weights) bool {
+		return opt.Select == nil || opt.Select(w, wt)
+	}
+	// Dense grid indices of the selected points, weights-major; the
+	// staircase and schedule caches cover exactly the selected widths.
+	keep := make([]int, 0, len(weights)*len(widths))
+	keepSet := make(map[int]bool, len(weights)*len(widths))
+	maxW := 0
+	selWidths := make(map[int]bool, len(widths))
+	for k, wt := range weights {
+		for ci, w := range widths {
+			if !selected(w, wt) {
+				continue
+			}
+			keep = append(keep, k*len(widths)+ci)
+			keepSet[k*len(widths)+ci] = true
+			selWidths[w] = true
+			maxW = max(maxW, w)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("core: sweep selection admits no grid points")
+	}
+	stairs := wrapper.NewStaircaseCache(maxW)
+	caches := make(map[int]*ScheduleCache, len(selWidths))
+	for w := range selWidths {
 		caches[w] = NewScheduleCache()
 	}
 
@@ -107,23 +145,29 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 	}
 
 	if !opt.WarmStart {
-		outer, inner := SplitWorkers(workers, len(out))
-		forEach(len(out), outer, func(i int) { solve(i, nil, inner) })
+		outer, inner := SplitWorkers(workers, len(keep))
+		forEach(len(keep), outer, func(j int) { solve(keep[j], nil, inner) })
 	} else {
-		// Ascending unique widths; each width's caches complete before
-		// the next width starts, so every Peek is deterministic.
-		asc := slices.Clone(widths)
+		// Ascending unique selected widths; each width's caches complete
+		// before the next width starts, so every Peek is deterministic,
+		// and every seed comes from a width that actually packed.
+		asc := make([]int, 0, len(selWidths))
+		for w := range selWidths {
+			asc = append(asc, w)
+		}
 		slices.Sort(asc)
-		asc = slices.Compact(asc)
 		outer, inner := SplitWorkers(workers, len(weights))
 		for wi, w := range asc {
 			var warm *ScheduleCache
 			if wi > 0 {
 				warm = caches[asc[wi-1]]
 			}
+			// Membership comes from the precomputed keep set, not a
+			// re-invocation of opt.Select, which need not be safe for
+			// concurrent use.
 			forEach(len(weights), outer, func(k int) {
 				for ci, cw := range widths {
-					if cw == w {
+					if cw == w && keepSet[k*len(widths)+ci] {
 						solve(k*len(widths)+ci, warm, inner)
 					}
 				}
@@ -135,7 +179,14 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 			return nil, err
 		}
 	}
-	return out, nil
+	if len(keep) == len(out) {
+		return out, nil
+	}
+	pts := make([]SweepPoint, 0, len(keep))
+	for _, i := range keep {
+		pts = append(pts, out[i])
+	}
+	return pts, nil
 }
 
 // WidthCurve returns the SOC test time of one fixed sharing

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"mixsoc/internal/analog"
@@ -48,6 +49,81 @@ func TestSweepConfigureHook(t *testing.T) {
 	}
 	if called != 1 {
 		t.Errorf("configure called %d times", called)
+	}
+}
+
+// TestSweepSelectMatchesFullSweep is the sharding contract: a sweep
+// restricted to a subset of the grid must return exactly the points an
+// unrestricted sweep returns for those cells, bit for bit, even though
+// the restricted sweep never packs — or allocates caches for — the
+// unselected widths.
+func TestSweepSelectMatchesFullSweep(t *testing.T) {
+	d := paperDesign()
+	widths := []int{24, 32, 48}
+	weights := []Weights{{Time: 0.25, Area: 0.75}, EqualWeights}
+	full, err := SweepWith(d, widths, weights, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(widths)*len(weights) {
+		t.Fatalf("full sweep has %d points", len(full))
+	}
+
+	sel := func(w int, wt Weights) bool { return w != 32 && wt.Time != 0.25 }
+	part, err := SweepWith(d, widths, weights, SweepOptions{Select: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []SweepPoint
+	for _, p := range full {
+		if sel(p.Width, p.Weights) {
+			want = append(want, p)
+		}
+	}
+	if len(part) != len(want) {
+		t.Fatalf("selected sweep has %d points, want %d", len(part), len(want))
+	}
+	for i, p := range part {
+		w := want[i]
+		if p.Width != w.Width || p.Weights != w.Weights {
+			t.Fatalf("point %d is (W=%d, wT=%v), want (W=%d, wT=%v)",
+				i, p.Width, p.Weights.Time, w.Width, w.Weights.Time)
+		}
+		if math.Float64bits(p.Result.Best.Cost) != math.Float64bits(w.Result.Best.Cost) ||
+			p.Result.Best.TestTime != w.Result.Best.TestTime ||
+			p.Result.NEval != w.Result.NEval {
+			t.Errorf("point (W=%d, wT=%v): selected sweep diverged from full sweep (cost %v vs %v, NEval %d vs %d)",
+				p.Width, p.Weights.Time, p.Result.Best.Cost, w.Result.Best.Cost, p.Result.NEval, w.Result.NEval)
+		}
+	}
+
+	if _, err := SweepWith(d, widths, weights, SweepOptions{
+		Select: func(int, Weights) bool { return false },
+	}); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+// TestSweepSelectWarmChain exercises Select together with WarmStart: the
+// chain must seed each width from the nearest narrower *selected* width
+// and still solve every selected point.
+func TestSweepSelectWarmChain(t *testing.T) {
+	d := paperDesign()
+	widths := []int{24, 32, 48}
+	pts, err := SweepWith(d, widths, []Weights{EqualWeights}, SweepOptions{
+		WarmStart: true,
+		Select:    func(w int, _ Weights) bool { return w != 32 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Width != 24 || pts[1].Width != 48 {
+		t.Fatalf("selected warm sweep points = %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Result == nil || p.Result.Best.TestTime <= 0 {
+			t.Errorf("W=%d: unsolved point", p.Width)
+		}
 	}
 }
 

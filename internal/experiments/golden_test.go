@@ -2,10 +2,22 @@ package experiments
 
 import (
 	"encoding/json"
+	"flag"
 	"math"
 	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 )
+
+// updateGolden regenerates testdata/golden_tables.json from the current
+// code:
+//
+//	go test ./internal/experiments -run TestUpdateGoldenSnapshot -update
+//
+// Only legitimate after an intentional result change — see README.md in
+// this directory for the procedure.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_tables.json from the current code")
 
 // The golden snapshot in testdata/golden_tables.json was captured from
 // the straightforward pre-optimization implementation (PR 1). Every
@@ -38,6 +50,12 @@ type golden struct {
 	Table3Lowest []string     `json:"table3_lowest"`
 	Table3Rows   []goldenRow  `json:"table3_rows"`
 	Table4Cells  []goldenCell `json:"table4_cells"`
+
+	// Human-readable duplicates of the headline numbers, for reviewers
+	// diffing the snapshot; the tests compare only the bit fields.
+	Table3SpreadStr   []string `json:"table3_spread_str"`
+	MeanReductionStr  string   `json:"mean_reduction_str"`
+	OptimalPercentStr string   `json:"optimal_percent_str"`
 }
 
 func loadGolden(t *testing.T) *golden {
@@ -62,6 +80,13 @@ func TestTable3BitIdenticalToGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkTable3Golden(t, g, res)
+}
+
+// checkTable3Golden compares a Table 3 result — however produced —
+// against the golden snapshot, bit for bit.
+func checkTable3Golden(t *testing.T, g *golden, res *Table3Result) {
+	t.Helper()
 	if len(res.Widths) != len(g.Table3Widths) {
 		t.Fatalf("widths = %v, want %v", res.Widths, g.Table3Widths)
 	}
@@ -102,6 +127,14 @@ func TestTable4BitIdenticalToGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkTable4Golden(t, g, res)
+}
+
+// checkTable4Golden compares a Table 4 result — however produced —
+// against the golden snapshot, bit for bit, including the headline
+// numbers the paper quotes.
+func checkTable4Golden(t *testing.T, g *golden, res *Table4Result) {
+	t.Helper()
 	if len(res.Cells) != len(g.Table4Cells) {
 		t.Fatalf("cells = %d, want %d", len(res.Cells), len(g.Table4Cells))
 	}
@@ -134,4 +167,113 @@ func TestTable4BitIdenticalToGolden(t *testing.T) {
 	if got := 100 * res.OptimalFraction(); math.Abs(got-93.33333333333333) > 1e-12 {
 		t.Errorf("optimal%% = %v, want 93.333...", got)
 	}
+}
+
+// TestShardMergeRoundTripBitIdenticalToGolden is the distributed-run
+// contract on the full paper grid: the two halves of a 2-way shard,
+// serialized to the on-disk JSON format and read back (simulating the
+// trip between machines), must merge into exactly the unsharded Table 3
+// and Table 4 — raw float64 bits, not an epsilon — which are in turn
+// held to the golden snapshot.
+func TestShardMergeRoundTripBitIdenticalToGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full grid runs are slow")
+	}
+	g := Grid{
+		Table3Widths:  Table3Widths,
+		Table4Widths:  PaperWidths,
+		Table4Weights: PaperWeightSettings,
+	}
+
+	dir := t.TempDir()
+	parts := make([]*ShardResult, 2)
+	for shard := range parts {
+		r, err := RunShard(nil, g, shard, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "shard.json")
+		if err := WriteShardFile(path, r); err != nil {
+			t.Fatal(err)
+		}
+		if parts[shard], err = ReadShardFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(parts[0], parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t3, err := Table3(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Table4(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable3Bits(t, merged.Table3, t3)
+	requireTable4Bits(t, merged.Table4, t4)
+
+	gold := loadGolden(t)
+	checkTable3Golden(t, gold, merged.Table3)
+	checkTable4Golden(t, gold, merged.Table4)
+}
+
+// TestUpdateGoldenSnapshot rewrites the golden snapshot when run with
+// -update; otherwise it only checks that the snapshot parses. See
+// README.md in this directory for when regeneration is legitimate.
+func TestUpdateGoldenSnapshot(t *testing.T) {
+	if !*updateGolden {
+		loadGolden(t)
+		t.Skip("pass -update to regenerate testdata/golden_tables.json")
+	}
+	t3, err := Table3(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Table4(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := golden{
+		Table3Widths:      t3.Widths,
+		Table3Lowest:      t3.Lowest,
+		MeanReductionStr:  strconv.FormatFloat(t4.MeanReduction(), 'g', -1, 64),
+		OptimalPercentStr: strconv.FormatFloat(100*t4.OptimalFraction(), 'g', -1, 64),
+	}
+	for _, s := range t3.Spread {
+		g.Table3Spread = append(g.Table3Spread, math.Float64bits(s))
+		g.Table3SpreadStr = append(g.Table3SpreadStr, strconv.FormatFloat(s, 'g', -1, 64))
+	}
+	for _, row := range t3.Rows {
+		gr := goldenRow{Label: row.Label}
+		for _, ct := range row.CT {
+			gr.CT = append(gr.CT, math.Float64bits(ct))
+		}
+		g.Table3Rows = append(g.Table3Rows, gr)
+	}
+	for _, c := range t4.Cells {
+		g.Table4Cells = append(g.Table4Cells, goldenCell{
+			Width:     c.Width,
+			WT:        math.Float64bits(c.Weights.Time),
+			ExhCost:   math.Float64bits(c.ExhaustiveCost),
+			ExhNEval:  c.ExhaustiveNEval,
+			ExhSel:    c.ExhaustiveSel,
+			HeurCost:  math.Float64bits(c.HeuristicCost),
+			HeurNEval: c.HeuristicNEval,
+			HeurSel:   c.HeuristicSel,
+			Reduction: math.Float64bits(c.ReductionPercent),
+			Optimal:   c.Optimal,
+		})
+	}
+	data, err := json.MarshalIndent(&g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_tables.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("regenerated testdata/golden_tables.json — record why in CHANGES.md")
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"slices"
 	"strings"
 
 	"mixsoc/internal/analog"
@@ -44,27 +43,61 @@ type Table4Result struct {
 // are merged weights-major by index, so the table (costs, NEval,
 // selections) is identical to a sequential run.
 func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result, error) {
-	if d == nil {
-		d = Design()
-	}
 	if len(widths) == 0 {
 		widths = PaperWidths
 	}
 	if len(weights) == 0 {
 		weights = PaperWeightSettings
 	}
-	names := d.AnalogNames()
-	res := &Table4Result{Widths: widths, Weights: weights}
+	cells, err := Table4Select(d, widths, weights, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{Widths: widths, Weights: weights, Cells: cells}, nil
+}
 
-	stairs := wrapper.NewStaircaseCache(slices.Max(widths))
-	caches := make(map[int]*core.ScheduleCache, len(widths))
-	for _, w := range widths {
+// Table4Select computes only the Table 4 cells sel admits, in the same
+// weights-major order — and with the same per-cell numbers, bit for bit
+// — as the full grid; a nil sel admits every cell. Schedule and
+// staircase caches cover exactly the selected widths, so a sharded run
+// never packs a schedule (or designs a wrapper) its cells do not need.
+func Table4Select(d *core.Design, widths []int, weights []core.Weights, sel func(width int, wt core.Weights) bool) ([]Table4Cell, error) {
+	if d == nil {
+		d = Design()
+	}
+	if len(widths) == 0 || len(weights) == 0 {
+		return nil, fmt.Errorf("experiments: Table 4 needs at least one width and one weight setting")
+	}
+	// Dense weights-major indices of the selected cells; caches cover
+	// only their widths.
+	keep := make([]int, 0, len(weights)*len(widths))
+	maxW := 0
+	selWidths := make(map[int]bool, len(widths))
+	for k, wt := range weights {
+		for ci, w := range widths {
+			if sel != nil && !sel(w, wt) {
+				continue
+			}
+			keep = append(keep, k*len(widths)+ci)
+			selWidths[w] = true
+			maxW = max(maxW, w)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("experiments: Table 4 selection admits no cells")
+	}
+
+	names := d.AnalogNames()
+	stairs := wrapper.NewStaircaseCache(maxW)
+	caches := make(map[int]*core.ScheduleCache, len(selWidths))
+	for w := range selWidths {
 		caches[w] = core.NewScheduleCache()
 	}
-	res.Cells = make([]Table4Cell, len(weights)*len(widths))
-	errs := make([]error, len(res.Cells))
-	outer, inner := core.SplitWorkers(core.DefaultWorkers(), len(res.Cells))
-	core.ForEach(len(res.Cells), outer, func(i int) {
+	cells := make([]Table4Cell, len(keep))
+	errs := make([]error, len(keep))
+	outer, inner := core.SplitWorkers(core.DefaultWorkers(), len(keep))
+	core.ForEach(len(keep), outer, func(j int) {
+		i := keep[j]
 		wt := weights[i/len(widths)]
 		w := widths[i%len(widths)]
 		pl := core.NewPlanner(d, w, wt)
@@ -74,15 +107,15 @@ func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result
 		pl.Workers = inner
 		ex, err := pl.Exhaustive()
 		if err != nil {
-			errs[i] = err
+			errs[j] = err
 			return
 		}
 		h, err := pl.CostOptimizer()
 		if err != nil {
-			errs[i] = err
+			errs[j] = err
 			return
 		}
-		res.Cells[i] = Table4Cell{
+		cells[j] = Table4Cell{
 			Width:            w,
 			Weights:          wt,
 			ExhaustiveCost:   ex.Best.Cost,
@@ -100,7 +133,7 @@ func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result
 			return nil, err
 		}
 	}
-	return res, nil
+	return cells, nil
 }
 
 // RenderTable4 formats the result like the paper's Table 4.

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkedDirs are the packages whose exported surface must be fully
+// documented: the public API, the planning core it re-exports, and the
+// experiment grid (the shard API is cross-machine surface). Relative
+// to this package's directory.
+var checkedDirs = []string{"../..", "../core", "../experiments"}
+
+// TestExportedDocComments fails for every exported top-level identifier
+// (type, function, method, const, var) in the checked packages that has
+// no doc comment, and for a missing package comment. It is the
+// comment-lint half of CI's vet step — gofmt-style zero-config: a
+// finding is a failure, there is no suppression list.
+func TestExportedDocComments(t *testing.T) {
+	for _, dir := range checkedDirs {
+		for _, finding := range lintDir(t, dir) {
+			t.Error(finding)
+		}
+	}
+}
+
+// TestDocCheckCatchesOffenders turns the linter on a fixture full of
+// undocumented exports, so a silently neutered check cannot pass.
+func TestDocCheckCatchesOffenders(t *testing.T) {
+	findings := lintDir(t, "testdata/bad")
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"no package comment",
+		"exported type Undocumented",
+		"exported function Exported",
+		"exported method Undocumented.Method",
+		"exported const LooseConst",
+		"exported var LooseVar",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("linter missed %q in:\n%s", want, joined)
+		}
+	}
+	for _, notWant := range []string{"unexported", "Documented", "GroupedConst", "TrailingVar"} {
+		if strings.Contains(joined, notWant) {
+			t.Errorf("linter flagged %s, which is documented or unexported:\n%s", notWant, joined)
+		}
+	}
+}
+
+// lintDir parses one directory (non-recursive, tests excluded) and
+// returns the doc findings for every package in it.
+func lintDir(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	var findings []string
+	for name, pkg := range pkgs {
+		findings = append(findings, checkPackage(fset, dir, name, pkg)...)
+	}
+	return findings
+}
+
+func checkPackage(fset *token.FileSet, dir, name string, pkg *ast.Package) []string {
+	var findings []string
+	hasPackageDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPackageDoc = true
+		}
+	}
+	if !hasPackageDoc {
+		findings = append(findings, fmt.Sprintf("package %s (%s): no package comment in any file", name, dir))
+	}
+
+	report := func(pos token.Pos, kind, ident string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.Join(dir, filepath.Base(p.Filename)), p.Line, kind, ident))
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				kind := "function"
+				ident := d.Name.Name
+				if d.Recv != nil {
+					recv := receiverName(d.Recv)
+					// Methods of unexported types are not API surface.
+					if recv != "" && !ast.IsExported(recv) {
+						continue
+					}
+					kind = "method"
+					ident = recv + "." + ident
+				}
+				report(d.Pos(), kind, ident)
+			case *ast.GenDecl:
+				checkGenDecl(report, d)
+			}
+		}
+	}
+	return findings
+}
+
+// checkGenDecl enforces docs on type, const and var declarations. A
+// type must be documented on its own spec (or as the sole spec of a
+// documented decl); const/var specs may inherit the group's doc
+// comment or carry a trailing line comment, the idiom the stdlib uses
+// for enum-style blocks.
+func checkGenDecl(report func(pos token.Pos, kind, ident string), d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			s := spec.(*ast.TypeSpec)
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc == nil && !(len(d.Specs) == 1 && d.Doc != nil) {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		kind := "const"
+		if d.Tok == token.VAR {
+			kind = "var"
+		}
+		for _, spec := range d.Specs {
+			s := spec.(*ast.ValueSpec)
+			if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(s.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's type name, unwrapping pointers
+// and generic instantiations.
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	expr := recv.List[0].Type
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

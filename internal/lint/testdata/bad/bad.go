@@ -1,0 +1,27 @@
+package bad
+
+type Undocumented struct{}
+
+func (Undocumented) Method() {}
+
+func Exported() {}
+
+const LooseConst = 1
+
+var LooseVar = 2
+
+// Documented is fine.
+type Documented struct{}
+
+// Grouped constants inherit the group comment.
+const (
+	GroupedConst = 3
+)
+
+var (
+	TrailingVar = 4 // trailing comments count too
+)
+
+type unexported struct{}
+
+func (unexported) AlsoFine() {}

@@ -138,7 +138,8 @@ func LoadAnalogCores(r io.Reader) ([]*AnalogCore, error) { return analog.ParseCo
 func FormatAnalogCores(cores []*AnalogCore) string { return analog.FormatCores(cores) }
 
 // SweepOptions configures SweepWith: exhaustive vs heuristic solving,
-// cross-width warm-starting, and the worker budget.
+// cross-width warm-starting, grid-cell selection, and the worker
+// budget.
 type SweepOptions = core.SweepOptions
 
 // Sweep solves the planning problem across several TAM widths and
@@ -147,11 +148,17 @@ func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool) ([]core.
 	return core.Sweep(d, widths, weights, exhaustive, nil)
 }
 
-// SweepWith is Sweep with explicit options; in particular
-// SweepOptions.WarmStart chains the TAM packings across adjacent widths
-// (each width's schedules seed the next width's improve loop), which is
-// markedly faster for wide exploratory sweeps at the price of
-// makespans that can deviate a few percent from a cold sweep.
+// SweepWith is Sweep with explicit options. SweepOptions.WarmStart
+// chains the TAM packings across adjacent widths (each width's
+// schedules seed the next width's improve loop), which is markedly
+// faster for wide exploratory sweeps at the price of makespans that
+// can deviate a few percent from a cold sweep. SweepOptions.Select
+// restricts the sweep to chosen grid cells, which is how a sharded
+// runner splits one grid across machines; in a cold sweep every
+// selected cell is solved bit-identically to the corresponding cell of
+// a full sweep (combined with WarmStart, the warm chain skips the
+// unselected widths, so seeds — and hence makespans — can differ from
+// a full warm sweep's).
 func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]core.SweepPoint, error) {
 	return core.SweepWith(d, widths, weights, opt)
 }
