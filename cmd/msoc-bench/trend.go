@@ -119,8 +119,8 @@ func runTrend(args []string, regressPct, minSeconds float64) (lines, failures []
 
 	for _, name := range sorted {
 		line := fmt.Sprintf("%-16s", name)
-		best := -1.0  // best (lowest) time over all but the latest trail
-		last := -1.0  // latest recorded time
+		best := -1.0 // best (lowest) time over all but the latest trail
+		last := -1.0 // latest recorded time
 		var firstRep, lastRep *report
 		for i, tr := range trails {
 			r, found := tr.reps[name]

@@ -4,20 +4,29 @@
 //
 // Usage:
 //
-//	msoc-plan [-soc file.soc] [-width 32] [-wt 0.5] [-exhaustive] [-gantt]
+//	msoc-plan [-soc file.soc] [-width 32] [-wt 0.5] [-exhaustive] [-gantt] [-json]
 //
 // Without -soc the embedded p93791m benchmark is used (the paper's
 // experimental SOC). With -soc, the digital SOC is read from the file
 // and the paper's five analog cores are attached.
+//
+// With -json the plan is printed as the serving layer's PlanResponse
+// JSON — byte-identical to what a msoc-serve POST /v1/plan returns for
+// the same (width, wt, exhaustive) request, which is how CI smoke-tests
+// the service against the CLI.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"mixsoc"
+	"mixsoc/internal/core"
+	"mixsoc/internal/service"
 )
 
 func main() {
@@ -31,6 +40,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	csvPath := flag.String("csv", "", "write the schedule as CSV to this file")
 	sweep := flag.Bool("sweep", false, "sweep TAM widths 32..64 and the three paper weight settings instead of a single plan")
+	jsonOut := flag.Bool("json", false, "print the plan as the serving layer's PlanResponse JSON (byte-identical to msoc-serve)")
 	flag.Parse()
 
 	design := mixsoc.P93791M()
@@ -49,6 +59,11 @@ func main() {
 
 	if *sweep {
 		runSweep(design, *exhaustive)
+		return
+	}
+
+	if *jsonOut {
+		printJSON(design, *socPath != "", *width, *wt, *exhaustive)
 		return
 	}
 
@@ -141,4 +156,28 @@ func method(exhaustive bool) string {
 		return "exhaustive"
 	}
 	return "cost-optimizer"
+}
+
+// printJSON runs the plan through the serving layer's own code path and
+// encoder, so the bytes on stdout are exactly what a msoc-serve
+// POST /v1/plan returns for the same request. Unlike a server, the CLI
+// imposes no planning deadline (the response bytes are unaffected — a
+// deadline can only abort a plan, never change one).
+func printJSON(design *mixsoc.Design, inline bool, width int, wt float64, exhaustive bool) {
+	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive}
+	if inline {
+		data, err := core.MarshalDesign(design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Design = data
+	}
+	srv := service.New(service.Options{RequestTimeout: math.MaxInt64})
+	resp, err := srv.Plan(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := service.WriteJSON(os.Stdout, resp); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,106 @@
+// Command msoc-serve runs the mixed-signal test planner as an HTTP/JSON
+// service: a long-lived planning Engine whose per-design caches are
+// shared across requests, a bounded worker pool, and per-request
+// deadlines with mid-sweep cancellation.
+//
+// Usage:
+//
+//	msoc-serve [-addr :8093] [-workers N] [-max-concurrent 4]
+//	           [-timeout 120s] [-max-designs 8]
+//
+// Endpoints:
+//
+//	POST /v1/plan     {"width":32,"wt":0.5[,"exhaustive":true][,"design":{...}]}
+//	POST /v1/sweep    {"widths":[32,48,64],"wts":[0.5,0.25][,"warm_start":true]}
+//	GET  /v1/designs  live cache sessions + cache-hit metrics
+//	GET  /healthz     liveness probe
+//
+// Responses are bit-identical to direct library calls; msoc-plan -json
+// prints the same bytes for the same point, which CI verifies against a
+// live server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mixsoc/internal/core"
+	"mixsoc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msoc-serve: ")
+
+	addr := flag.String("addr", ":8093", "listen address")
+	workers := flag.Int("workers", 0, "total CPU budget across concurrent requests; 0 = all CPUs")
+	maxConcurrent := flag.Int("max-concurrent", 4, "planning requests in flight before 503s")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request planning deadline (also caps timeout_ms)")
+	maxDesigns := flag.Int("max-designs", 8, "design cache sessions kept before LRU eviction")
+	flag.Parse()
+
+	eng := core.NewEngine(core.EngineOptions{
+		MaxDesigns: *maxDesigns,
+		Workers:    innerWorkers(*workers, *maxConcurrent),
+	})
+	srv := service.New(service.Options{
+		Engine:         eng,
+		Workers:        *workers,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *timeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight plans finish (or
+	// hit their own deadlines), then exit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down: %s", eng)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (workers %d, max-concurrent %d, timeout %s)",
+		*addr, effectiveWorkers(*workers), *maxConcurrent, *timeout)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// effectiveWorkers mirrors the service's worker default for the banner.
+func effectiveWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return core.DefaultWorkers()
+}
+
+// innerWorkers is each request slot's share of the CPU budget, matching
+// the split service.New applies.
+func innerWorkers(workers, maxConcurrent int) int {
+	if maxConcurrent < 1 {
+		maxConcurrent = 4
+	}
+	_, inner := core.SplitWorkers(effectiveWorkers(workers), maxConcurrent)
+	return inner
+}

@@ -1,6 +1,7 @@
 package mixsoc_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -106,4 +107,32 @@ EndModule
 	fmt.Println(soc)
 	// Output:
 	// tiny: 1 modules, 1 cores, 30 scan bits
+}
+
+// ExampleNewEngine holds a long-lived planning engine: the second plan
+// of the same design (even a separately allocated copy) is served from
+// the design's cache session, and a context can cancel any call
+// mid-flight.
+func ExampleNewEngine() {
+	eng := mixsoc.NewEngine(mixsoc.EngineOptions{MaxDesigns: 4})
+	ctx := context.Background()
+
+	first, err := eng.Plan(ctx, mixsoc.P93791M(), 32, mixsoc.EqualWeights)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	second, err := eng.Plan(ctx, mixsoc.P93791M(), 32, mixsoc.EqualWeights)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := eng.Metrics()
+	fmt.Printf("same best cost: %v\n", first.Best.Cost == second.Best.Cost)
+	fmt.Printf("designs cached: %d\n", m.Designs)
+	fmt.Printf("schedule cache reused: %v\n", m.Schedule.Hits > 0)
+	// Output:
+	// same best cost: true
+	// designs cached: 1
+	// schedule cache reused: true
 }

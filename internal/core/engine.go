@@ -1,0 +1,362 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mixsoc/internal/partition"
+	"mixsoc/internal/tam"
+	"mixsoc/internal/wrapper"
+)
+
+// EngineOptions configures NewEngine. The zero value is a sensible
+// default for a long-lived process.
+type EngineOptions struct {
+	// MaxDesigns bounds the number of design cache sessions kept alive;
+	// the least-recently-used session is evicted past it. Default 8.
+	MaxDesigns int
+	// MaxWidth is the TAM width the per-design staircase caches
+	// precompute up to; wider requests still work (the cache grows on
+	// demand). Default 64, the widest width the paper sweeps.
+	MaxWidth int
+	// MaxWidthCaches bounds the schedule caches kept per design — one
+	// cache per TAM width planned — evicting the least-recently-used
+	// width past it, so a client scanning many widths cannot grow a
+	// session without limit. Default 32.
+	MaxWidthCaches int
+	// Workers is the CPU budget each planning call runs with; 0 means
+	// DefaultWorkers. The worker count never changes results — parallel
+	// planners replay deterministically — only wall-clock.
+	Workers int
+}
+
+// Engine is a long-lived planning handle: it owns a staircase cache and
+// per-width schedule caches for every design it has seen, keyed by the
+// design's content hash (DesignHash), evicts whole designs by LRU, and
+// threads context cancellation through every planning call. All methods
+// are safe for concurrent use, and every result is bit-identical to the
+// corresponding one-shot free function (Plan, SweepWith, ...): the
+// caches only deduplicate deterministic work, and warm-started sweeps
+// never write into the shared cold caches.
+//
+// A zero-valued Engine is not usable; construct with NewEngine.
+type Engine struct {
+	opts EngineOptions
+
+	mu       sync.Mutex
+	sessions map[string]*engineSession
+	seq      uint64 // LRU clock, bumped per session access
+
+	designHits, designMisses, evictions atomic.Uint64
+}
+
+// engineSession is the cache state of one canonicalized design: the
+// engine-owned design copy, its cross-width staircase cache, and one
+// cold schedule cache per TAM width.
+type engineSession struct {
+	hash      string
+	design    *Design
+	maxWidths int // schedule caches kept before width-LRU eviction
+
+	plans atomic.Uint64 // planning calls served
+
+	mu       sync.Mutex
+	stairs   *wrapper.StaircaseCache
+	byWidth  map[int]*widthCache
+	widthSeq uint64 // width-LRU clock, under mu
+	lastUse  uint64 // under Engine.mu
+}
+
+// widthCache is one width's schedule cache plus its LRU stamp.
+type widthCache struct {
+	cache   *ScheduleCache
+	lastUse uint64
+}
+
+// NewEngine returns an engine with the given options.
+func NewEngine(opts EngineOptions) *Engine {
+	if opts.MaxDesigns < 1 {
+		opts.MaxDesigns = 8
+	}
+	if opts.MaxWidth < 1 {
+		opts.MaxWidth = 64
+	}
+	if opts.MaxWidthCaches < 1 {
+		opts.MaxWidthCaches = 32
+	}
+	return &Engine{opts: opts, sessions: map[string]*engineSession{}}
+}
+
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return DefaultWorkers()
+}
+
+// session returns the cache session for the design's content hash,
+// creating (and LRU-evicting) as needed. The session plans against an
+// engine-owned deep copy of the first design seen with that hash, so
+// callers may mutate or discard their design afterwards — and so the
+// pointer-keyed staircase cache actually hits across calls that pass
+// separately allocated but identical designs.
+func (e *Engine) session(d *Design) (*engineSession, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := DesignHash(d)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	e.seq++
+	if s := e.sessions[hash]; s != nil {
+		s.lastUse = e.seq
+		e.mu.Unlock()
+		e.designHits.Add(1)
+		return s, nil
+	}
+	e.mu.Unlock()
+
+	// Clone outside the lock; on a double-create race the first insert
+	// wins and the loser's clone is dropped.
+	clone, err := CloneDesign(d)
+	if err != nil {
+		return nil, err
+	}
+	s := &engineSession{
+		hash:      hash,
+		design:    clone,
+		maxWidths: e.opts.MaxWidthCaches,
+		stairs:    wrapper.NewStaircaseCache(e.opts.MaxWidth),
+		byWidth:   map[int]*widthCache{},
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev := e.sessions[hash]; prev != nil {
+		prev.lastUse = e.seq
+		e.designHits.Add(1)
+		return prev, nil
+	}
+	e.designMisses.Add(1)
+	s.lastUse = e.seq
+	e.sessions[hash] = s
+	for len(e.sessions) > e.opts.MaxDesigns {
+		oldest := ""
+		for h, cand := range e.sessions {
+			if oldest == "" || cand.lastUse < e.sessions[oldest].lastUse {
+				oldest = h
+			}
+		}
+		delete(e.sessions, oldest)
+		e.evictions.Add(1)
+	}
+	return s, nil
+}
+
+// sweepStairs implements sweepCaches: the session's staircase cache,
+// grown (replaced by a wider, initially empty one) when a sweep needs
+// widths beyond what it precomputes. The prefix property makes a wider
+// cache's answers bit-identical to the old one's.
+func (s *engineSession) sweepStairs(maxW int) *wrapper.StaircaseCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxW > s.stairs.MaxWidth() {
+		s.stairs = wrapper.NewStaircaseCache(maxW)
+	}
+	return s.stairs
+}
+
+// sweepCache implements sweepCaches: the session's cold schedule cache
+// for width w, created on first use. Widths are LRU-bounded
+// (maxWidths): evicting one only unshares it — planners already
+// holding the cache keep using it safely — so a client scanning
+// thousands of widths cannot grow the session without limit.
+func (s *engineSession) sweepCache(w int) *ScheduleCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.widthSeq++
+	if c := s.byWidth[w]; c != nil {
+		c.lastUse = s.widthSeq
+		return c.cache
+	}
+	c := &widthCache{cache: NewScheduleCache(), lastUse: s.widthSeq}
+	s.byWidth[w] = c
+	for len(s.byWidth) > s.maxWidths {
+		oldest, oldestUse := 0, ^uint64(0)
+		for cw, cand := range s.byWidth {
+			if cand.lastUse < oldestUse {
+				oldest, oldestUse = cw, cand.lastUse
+			}
+		}
+		delete(s.byWidth, oldest)
+	}
+	return c.cache
+}
+
+// planner builds a planner wired to the session's caches, with the
+// paper's defaults — exactly what the one-shot Plan free function runs,
+// plus cache reuse.
+func (s *engineSession) planner(width int, w Weights, workers int) *Planner {
+	pl := NewPlanner(s.design, width, w)
+	pl.Cache = s.sweepCache(width)
+	pl.Staircases = s.sweepStairs(width)
+	pl.Workers = workers
+	return pl
+}
+
+// Plan runs the paper's Cost_Optimizer heuristic on the design at TAM
+// width w, serving wrapper staircases and TAM schedules from the
+// design's cache session. The Result — including NEval — is
+// bit-identical to a one-shot Plan call: caches only deduplicate
+// deterministic work, and each call accounts its own evaluations.
+func (e *Engine) Plan(ctx context.Context, d *Design, width int, w Weights) (*Result, error) {
+	s, err := e.session(d)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.Add(1)
+	return s.planner(width, w, e.workers()).CostOptimizerContext(ctx)
+}
+
+// PlanExhaustive is Plan with the exhaustive baseline solver.
+func (e *Engine) PlanExhaustive(ctx context.Context, d *Design, width int, w Weights) (*Result, error) {
+	s, err := e.session(d)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.Add(1)
+	return s.planner(width, w, e.workers()).ExhaustiveContext(ctx)
+}
+
+// Schedule returns the packed TAM schedule for one sharing
+// configuration at width w, served from (and cached in) the design's
+// session. The returned schedule is shared and must be treated as
+// read-only.
+func (e *Engine) Schedule(ctx context.Context, d *Design, p partition.Partition, width int) (*tam.Schedule, error) {
+	s, err := e.session(d)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.Add(1)
+	ev := NewSharedEvaluator(s.design, width, s.sweepCache(width))
+	ev.Staircases = s.sweepStairs(width)
+	return ev.ScheduleContext(ctx, p)
+}
+
+// Sweep solves the planning problem across TAM widths and weight
+// settings against the design's cache session; see SweepWithContext
+// for the cancellation contract. Cold sweeps read and populate the
+// session's schedule caches (bit-identical to one-shot SweepWith);
+// WarmStart sweeps draw only the staircase cache, keeping the shared
+// schedule caches strictly cold.
+func (e *Engine) Sweep(ctx context.Context, d *Design, widths []int, weights []Weights, opt SweepOptions) ([]SweepPoint, error) {
+	s, err := e.session(d)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.Add(1)
+	if opt.Workers == 0 {
+		opt.Workers = e.workers()
+	}
+	return sweepWithCaches(ctx, s.design, widths, weights, opt, s)
+}
+
+// DesignInfo describes one live cache session of an Engine.
+type DesignInfo struct {
+	// Hash is the design's content hash, the session key.
+	Hash string `json:"hash"`
+	// Name is the display name the design was first registered under.
+	Name string `json:"name"`
+	// Plans counts the planning calls served for this design.
+	Plans uint64 `json:"plans"`
+	// Widths lists the TAM widths with a live schedule cache, ascending.
+	Widths []int `json:"widths,omitempty"`
+	// Schedules is the total number of cached TAM schedules.
+	Schedules int `json:"schedules"`
+}
+
+// Designs lists the engine's live cache sessions, most recently used
+// first.
+func (e *Engine) Designs() []DesignInfo {
+	e.mu.Lock()
+	sessions := make([]*engineSession, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	sort.Slice(sessions, func(a, b int) bool { return sessions[a].lastUse > sessions[b].lastUse })
+	e.mu.Unlock()
+
+	out := make([]DesignInfo, 0, len(sessions))
+	for _, s := range sessions {
+		info := DesignInfo{Hash: s.hash, Name: s.design.Name, Plans: s.plans.Load()}
+		s.mu.Lock()
+		for w, c := range s.byWidth {
+			info.Widths = append(info.Widths, w)
+			info.Schedules += c.cache.Len()
+		}
+		s.mu.Unlock()
+		sort.Ints(info.Widths)
+		out = append(out, info)
+	}
+	return out
+}
+
+// EngineMetrics aggregates an Engine's cache counters.
+type EngineMetrics struct {
+	// Designs is the number of live cache sessions.
+	Designs int `json:"designs"`
+	// DesignHits counts calls served by an existing session; a miss
+	// created one.
+	DesignHits uint64 `json:"design_hits"`
+	// DesignMisses counts sessions created.
+	DesignMisses uint64 `json:"design_misses"`
+	// Evictions counts sessions dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Schedule aggregates the hit/miss counters of every live schedule
+	// cache: a miss ran the TAM optimizer, a hit reused a packing.
+	Schedule CacheStats `json:"schedule"`
+	// Schedules is the total number of cached TAM schedules.
+	Schedules int `json:"schedules"`
+}
+
+// Metrics returns the engine's cache counters. Schedule hit/miss
+// numbers cover live width caches of live sessions only (evicted
+// sessions and evicted widths take their counters with them).
+func (e *Engine) Metrics() EngineMetrics {
+	m := EngineMetrics{
+		DesignHits:   e.designHits.Load(),
+		DesignMisses: e.designMisses.Load(),
+		Evictions:    e.evictions.Load(),
+	}
+	e.mu.Lock()
+	sessions := make([]*engineSession, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	m.Designs = len(sessions)
+	for _, s := range sessions {
+		s.mu.Lock()
+		for _, c := range s.byWidth {
+			st := c.cache.Stats()
+			m.Schedule.Hits += st.Hits
+			m.Schedule.Misses += st.Misses
+			m.Schedules += c.cache.Len()
+		}
+		s.mu.Unlock()
+	}
+	return m
+}
+
+// String summarizes the engine for logs.
+func (e *Engine) String() string {
+	m := e.Metrics()
+	return fmt.Sprintf("engine: %d designs, %d schedules cached, schedule hits/misses %d/%d",
+		m.Designs, m.Schedules, m.Schedule.Hits, m.Schedule.Misses)
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// variantDesign returns a design whose content differs from the paper
+// benchmark, for exercising multi-session engines.
+func variantDesign() *Design {
+	d := warmTestDesign()
+	d.Name = "p93791m-variant"
+	d.Analog[0].Tests[0].Cycles += 1000
+	return d
+}
+
+// sameResult compares the planning outcomes that the golden tables pin:
+// cost bits, NEval, and the selected configuration.
+func sameResult(a, b *Result) bool {
+	return a.Best.Cost == b.Best.Cost && a.NEval == b.NEval &&
+		a.Best.Partition.Key(nil) == b.Best.Partition.Key(nil) &&
+		a.Best.TestTime == b.Best.TestTime
+}
+
+// Engine results must be bit-identical to the one-shot free functions,
+// on the first (cold) call and on cache hits alike — including across
+// separately allocated copies of the same design.
+func TestEngineBitIdenticalToDirect(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	ctx := context.Background()
+
+	direct, err := NewPlanner(warmTestDesign(), 32, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := eng.Plan(ctx, warmTestDesign(), 32, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.Plan(ctx, warmTestDesign(), 32, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(direct, cold) || !sameResult(direct, warm) {
+		t.Fatal("engine Plan diverges from direct Plan")
+	}
+	m := eng.Metrics()
+	if m.Designs != 1 || m.DesignMisses != 1 || m.DesignHits < 1 {
+		t.Errorf("metrics after two plans of one design: %+v", m)
+	}
+	if m.Schedule.Hits == 0 {
+		t.Error("second plan did not hit the schedule cache")
+	}
+
+	ex, err := eng.PlanExhaustive(ctx, warmTestDesign(), 32, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exDirect, err := NewPlanner(warmTestDesign(), 32, EqualWeights).Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(exDirect, ex) {
+		t.Fatal("engine PlanExhaustive diverges from direct Exhaustive")
+	}
+
+	s, err := eng.Schedule(ctx, warmTestDesign(), warmTestDesign().AllShare(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(warmTestDesign(), 32)
+	sd, err := ev.Schedule(warmTestDesign().AllShare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != sd.Makespan {
+		t.Fatalf("engine Schedule makespan %d != direct %d", s.Makespan, sd.Makespan)
+	}
+}
+
+// An engine's sweep must match the one-shot SweepWith point for point,
+// and a repeat sweep (served largely from the session caches) must not
+// drift.
+func TestEngineSweepBitIdenticalToDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	eng := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	widths := []int{32, 48}
+	weights := []Weights{EqualWeights, {Time: 0.25, Area: 0.75}}
+
+	direct, err := SweepWith(warmTestDesign(), widths, weights, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got, err := eng.Sweep(ctx, warmTestDesign(), widths, weights, SweepOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(direct) {
+			t.Fatalf("round %d: %d points, want %d", round, len(got), len(direct))
+		}
+		for i := range got {
+			if got[i].Width != direct[i].Width || got[i].Weights != direct[i].Weights ||
+				!sameResult(got[i].Result, direct[i].Result) {
+				t.Fatalf("round %d point %d: engine sweep diverges from direct", round, i)
+			}
+		}
+	}
+
+	// A warm-started sweep must leave the cold caches untouched: a cold
+	// plan afterwards still reproduces the direct result bit for bit.
+	before := eng.Metrics().Schedules
+	if _, err := eng.Sweep(ctx, warmTestDesign(), []int{32, 40, 48}, []Weights{EqualWeights},
+		SweepOptions{WarmStart: true}); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Metrics().Schedules; after != before {
+		t.Errorf("warm sweep changed the shared cold caches: %d -> %d schedules", before, after)
+	}
+	again, err := eng.Plan(ctx, warmTestDesign(), 32, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directPlan, err := NewPlanner(warmTestDesign(), 32, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(directPlan, again) {
+		t.Fatal("cold plan after a warm sweep diverged")
+	}
+}
+
+// Many goroutines planning the same and different designs through one
+// engine must all get the sequential answers (run with -race in CI).
+func TestEngineConcurrentUse(t *testing.T) {
+	eng := NewEngine(EngineOptions{Workers: 1})
+	ctx := context.Background()
+
+	refBase, err := NewPlanner(warmTestDesign(), 32, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refVar, err := NewPlanner(variantDesign(), 32, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameResult(refBase, refVar) && refBase.Best.TestTime == refVar.Best.TestTime {
+		t.Log("variant design happens to plan identically; sessions still exercised")
+	}
+
+	const goroutines = 16
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Even goroutines plan the benchmark, odd ones the variant;
+			// every call passes a fresh design value, so the content-hash
+			// canonicalization is what makes the sessions shared.
+			mk, want := warmTestDesign, refBase
+			if g%2 == 1 {
+				mk, want = variantDesign, refVar
+			}
+			for i := 0; i < 3; i++ {
+				res, err := eng.Plan(ctx, mk(), 32, EqualWeights)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !sameResult(want, res) {
+					errs[g] = errors.New("concurrent engine result diverged from sequential reference")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	m := eng.Metrics()
+	if m.Designs != 2 {
+		t.Errorf("engine holds %d designs, want 2", m.Designs)
+	}
+	if m.DesignHits+m.DesignMisses != goroutines*3 {
+		t.Errorf("design lookups = %d, want %d", m.DesignHits+m.DesignMisses, goroutines*3)
+	}
+}
+
+// A cancelled context must abort a sweep promptly — well under the
+// sweep's own runtime — and leave the engine's caches consistent: the
+// same sweep afterwards completes and is bit-identical to a direct
+// cold sweep.
+func TestEngineCancellationMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	eng := NewEngine(EngineOptions{})
+	widths := []int{32, 40, 48, 56, 64}
+	weights := []Weights{EqualWeights, {Time: 0.25, Area: 0.75}, {Time: 0.75, Area: 0.25}}
+	opt := SweepOptions{Exhaustive: true}
+
+	// Reference runtime of the full sweep, uncached.
+	t0 := time.Now()
+	direct, err := SweepWith(warmTestDesign(), widths, weights, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 = time.Now()
+	_, err = eng.Sweep(ctx, warmTestDesign(), widths, weights, opt)
+	aborted := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled sweep returned %v, want context.DeadlineExceeded", err)
+	}
+	// Prompt: far from running the sweep to completion after the
+	// deadline. The bound is deliberately loose for noisy CI boxes.
+	if limit := full/2 + 500*time.Millisecond; aborted > limit {
+		t.Errorf("cancelled sweep took %v (full sweep %v); cancellation not prompt", aborted, full)
+	}
+
+	// The same engine must now complete the sweep with results
+	// bit-identical to the direct cold sweep: no aborted packing may
+	// have been memoized.
+	got, err := eng.Sweep(context.Background(), warmTestDesign(), widths, weights, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(direct) {
+		t.Fatalf("%d points after cancellation, want %d", len(got), len(direct))
+	}
+	for i := range got {
+		if !sameResult(got[i].Result, direct[i].Result) {
+			t.Fatalf("point %d (W=%d): post-cancellation sweep diverges from direct", i, got[i].Width)
+		}
+	}
+}
+
+// A caller waiting on another request's in-flight schedule
+// computation must honor its OWN context: a short deadline returns
+// promptly even while the owner is still packing, and the entry
+// completes normally for later callers.
+func TestWaiterHonorsOwnContext(t *testing.T) {
+	d := warmTestDesign()
+	cache := NewScheduleCache()
+	p := d.AllShare()
+	key := p.Key(nil)
+
+	// Simulate a slow in-flight owner: create the entry by hand and
+	// leave it incomplete.
+	ent, owner := cache.entry(key)
+	if !owner {
+		t.Fatal("entry unexpectedly existed")
+	}
+
+	ev := NewSharedEvaluator(d, 32, cache)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := ev.ScheduleContext(ctx, p)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter returned %v, want its own context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(t0); waited > 5*time.Second {
+		t.Fatalf("waiter blocked %v past its 30ms deadline", waited)
+	}
+
+	// The owner eventually completes; subsequent calls serve the entry.
+	ev.fill(nil, p, key, ent)
+	s, err := ev.Schedule(p)
+	if err != nil || s == nil {
+		t.Fatalf("post-completion Schedule = (%v, %v)", s, err)
+	}
+	if cache.Peek(key) != s {
+		t.Error("completed entry not served from the cache")
+	}
+}
+
+// A session's schedule caches are bounded per width: scanning many
+// widths never grows the session past MaxWidthCaches, and an evicted
+// width still plans correctly (just cold again).
+func TestEngineWidthCacheLRUBound(t *testing.T) {
+	eng := NewEngine(EngineOptions{MaxWidthCaches: 2})
+	ctx := context.Background()
+	ref, err := NewPlanner(warmTestDesign(), 24, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{24, 28, 32, 36, 40} {
+		if _, err := eng.Plan(ctx, warmTestDesign(), w, EqualWeights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := eng.Designs()
+	if len(infos) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(infos))
+	}
+	if len(infos[0].Widths) != 2 {
+		t.Fatalf("width caches = %v, want the 2 most recent", infos[0].Widths)
+	}
+	for _, w := range infos[0].Widths {
+		if w != 36 && w != 40 {
+			t.Errorf("width %d survived, want only the most recently used (36, 40)", w)
+		}
+	}
+	// Replanning an evicted width is a cold recompute, bit-identical.
+	res, err := eng.Plan(ctx, warmTestDesign(), 24, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(ref, res) {
+		t.Error("replan of an evicted width diverged")
+	}
+}
+
+// The LRU bound evicts whole design sessions, least recently used
+// first, without ever changing results.
+func TestEngineLRUEviction(t *testing.T) {
+	eng := NewEngine(EngineOptions{MaxDesigns: 1})
+	ctx := context.Background()
+	ref, err := NewPlanner(warmTestDesign(), 32, EqualWeights).CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Plan(ctx, warmTestDesign(), 32, EqualWeights); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Plan(ctx, variantDesign(), 32, EqualWeights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := eng.Metrics()
+	if m.Designs != 1 {
+		t.Errorf("engine holds %d designs, want 1 (MaxDesigns)", m.Designs)
+	}
+	if m.Evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2 for alternating designs at capacity 1", m.Evictions)
+	}
+	res, err := eng.Plan(ctx, warmTestDesign(), 32, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(ref, res) {
+		t.Error("post-eviction plan diverged from the direct result")
+	}
+	infos := eng.Designs()
+	if len(infos) != 1 || infos[0].Name != "p93791m" {
+		t.Errorf("Designs() = %+v, want the benchmark session only", infos)
+	}
+}

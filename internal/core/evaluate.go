@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,16 +20,32 @@ import (
 // deduplicates the packing work without changing any reported numbers:
 // the TAM optimizer is deterministic, so a cached schedule is identical
 // to a recomputed one, and each Evaluator still counts its own NEval.
+//
+// Cancellation never poisons the cache: a computation aborted by its
+// caller's context is dropped rather than memoized, so the next request
+// for the same configuration computes it afresh and every completed
+// entry is one a cold call would have produced bit-identically.
 type ScheduleCache struct {
 	mu sync.Mutex
 	m  map[string]*cacheEntry
+
+	hits, misses atomic.Uint64
 }
 
 type cacheEntry struct {
-	once sync.Once
-	done atomic.Bool // set after once completes; gates Peek
+	done chan struct{} // closed once s/err are final
 	s    *tam.Schedule
 	err  error
+}
+
+// completed reports whether the entry's computation has finished.
+func (e *cacheEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewScheduleCache returns an empty schedule cache.
@@ -35,15 +53,21 @@ func NewScheduleCache() *ScheduleCache {
 	return &ScheduleCache{m: map[string]*cacheEntry{}}
 }
 
-func (c *ScheduleCache) entry(key string) *cacheEntry {
+// entry returns the entry for key, creating it if absent; owner reports
+// whether this caller created it and therefore must compute it and
+// close done. Waiters select on done against their own context, so one
+// caller's slow computation never pins another caller past its
+// deadline.
+func (c *ScheduleCache) entry(key string) (e *cacheEntry, owner bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := c.m[key]
+	e = c.m[key]
 	if e == nil {
-		e = &cacheEntry{}
+		e = &cacheEntry{done: make(chan struct{})}
 		c.m[key] = e
+		return e, true
 	}
-	return e
+	return e, false
 }
 
 // Peek returns the already-computed schedule for key, or nil if the key
@@ -58,10 +82,51 @@ func (c *ScheduleCache) Peek(key string) *tam.Schedule {
 	c.mu.Lock()
 	e := c.m[key]
 	c.mu.Unlock()
-	if e == nil || !e.done.Load() || e.err != nil {
+	if e == nil || !e.completed() || e.err != nil {
 		return nil
 	}
 	return e.s
+}
+
+// drop removes the entry for key if it is still the given one, so a
+// computation aborted by context cancellation is forgotten instead of
+// memoized. Idempotent under concurrent callers.
+func (c *ScheduleCache) drop(key string, ent *cacheEntry) {
+	c.mu.Lock()
+	if c.m[key] == ent {
+		delete(c.m, key)
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries, completed or in flight.
+func (c *ScheduleCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// CacheStats counts how schedule requests were served: a miss is a
+// computation owned (the TAM optimizer ran, or the entry errored while
+// building its jobs), a hit a result served from a completed or
+// in-flight entry without computing. The serving layer exports these
+// as its cache-efficiency metrics.
+type CacheStats struct {
+	// Hits is the number of requests served without a TAM run.
+	Hits uint64 `json:"hits"`
+	// Misses is the number of requests that ran the TAM optimizer.
+	Misses uint64 `json:"misses"`
+}
+
+// Stats returns the cache's hit/miss counters.
+func (c *ScheduleCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
 // Evaluator runs TAM optimizations for sharing configurations of one
@@ -80,14 +145,15 @@ type Evaluator struct {
 	// before the evaluator's first use.
 	Staircases *wrapper.StaircaseCache
 
-	// Warm, when non-nil, is the schedule cache of an adjacent
-	// (narrower) TAM width: configurations already packed there seed
-	// this evaluator's TAM runs via tam.WithWarmStart. Set it before the
-	// evaluator's first use, and only from sweep drivers that complete
-	// the previous width first — Peek never blocks, so a racing source
-	// cache would make warm seeding (not results, but timing)
-	// nondeterministic.
-	Warm *ScheduleCache
+	// Warm lists the schedule caches of adjacent TAM widths, nearest
+	// first: configurations already packed there seed this evaluator's
+	// TAM runs via tam.WithWarmStart, the best adoption winning (a
+	// narrower width's schedule is adopted verbatim, a wider width's
+	// re-placed in seed order). Set it before the evaluator's first use,
+	// and only from sweep drivers whose source widths are complete —
+	// Peek never blocks, so a racing source cache would make warm
+	// seeding (not results, but timing) nondeterministic.
+	Warm []*ScheduleCache
 
 	cache *ScheduleCache
 
@@ -135,35 +201,86 @@ func (e *Evaluator) digitalJobs() ([]*tam.Job, error) {
 	return e.digital, e.digitalErr
 }
 
-func (e *Evaluator) compute(p partition.Partition, key string) (*tam.Schedule, error) {
-	ent := e.cache.entry(key)
-	ent.once.Do(func() {
-		defer ent.done.Store(true)
-		digital, err := e.digitalJobs()
-		if err != nil {
-			ent.err = err
-			return
+// compute returns the schedule for (p, key), serving completed cache
+// entries and computing missing ones single-flight: the caller that
+// creates the entry packs it, everyone else waits on the entry OR
+// their own context — whichever fires first — so a slow computation
+// never pins a waiter past its deadline. A computation aborted by its
+// owner's cancellation is dropped from the cache, never memoized; a
+// live waiter that observes one retries with a fresh entry. The
+// hit/miss counters record one miss per TAM run and one hit per
+// result actually served from the cache.
+func (e *Evaluator) compute(ctx context.Context, p partition.Partition, key string) (*tam.Schedule, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done() // nil channel (nil ctx) blocks forever
+	}
+	for {
+		ent, owner := e.cache.entry(key)
+		if owner {
+			e.cache.misses.Add(1)
+			e.fill(ctx, p, key, ent)
+		} else {
+			select {
+			case <-ent.done:
+			case <-ctxDone:
+				return nil, ctx.Err()
+			}
 		}
-		jobs, err := appendAnalogJobs(digital, e.Design, p)
-		if err != nil {
-			ent.err = err
-			return
+		if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+			e.cache.drop(key, ent)
+			if ctx != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue // the owner's cancellation, not ours: recompute
 		}
-		var opts []tam.Option
-		if seed := e.Warm.Peek(key); seed != nil {
+		if !owner && ent.err == nil {
+			e.cache.hits.Add(1)
+		}
+		return ent.s, ent.err
+	}
+}
+
+// fill packs the schedule for (p, key) into the owned entry and closes
+// its done channel.
+func (e *Evaluator) fill(ctx context.Context, p partition.Partition, key string, ent *cacheEntry) {
+	defer close(ent.done)
+	digital, err := e.digitalJobs()
+	if err != nil {
+		ent.err = err
+		return
+	}
+	jobs, err := appendAnalogJobs(digital, e.Design, p)
+	if err != nil {
+		ent.err = err
+		return
+	}
+	var opts []tam.Option
+	for _, warm := range e.Warm {
+		if seed := warm.Peek(key); seed != nil {
 			opts = append(opts, tam.WithWarmStart(seed))
 		}
-		ent.s, ent.err = tam.Optimize(jobs, e.Width, opts...)
-	})
-	return ent.s, ent.err
+	}
+	if ctx != nil {
+		opts = append(opts, tam.WithContext(ctx))
+	}
+	ent.s, ent.err = tam.Optimize(jobs, e.Width, opts...)
 }
 
 // Schedule returns the rectangle-packed schedule for configuration p,
 // computing it on first use anywhere (this evaluator or a shared cache)
 // and counting it toward Runs on first use here.
 func (e *Evaluator) Schedule(p partition.Partition) (*tam.Schedule, error) {
+	return e.ScheduleContext(nil, p)
+}
+
+// ScheduleContext is Schedule under a context: the TAM packing loops
+// poll ctx and the call returns ctx.Err() once it fires, with the
+// aborted computation dropped from the cache rather than memoized. A
+// nil ctx never cancels.
+func (e *Evaluator) ScheduleContext(ctx context.Context, p partition.Partition) (*tam.Schedule, error) {
 	key := p.Key(nil)
-	s, err := e.compute(p, key)
+	s, err := e.compute(ctx, p, key)
 	if err != nil {
 		return nil, err
 	}
@@ -181,18 +298,29 @@ func (e *Evaluator) Schedule(p partition.Partition) (*tam.Schedule, error) {
 // speculatively; errors are deliberately dropped here and resurface,
 // deterministically, when the schedule is actually requested.
 func (e *Evaluator) Prefetch(p partition.Partition) {
-	_, _ = e.compute(p, p.Key(nil))
+	e.PrefetchContext(nil, p)
+}
+
+// PrefetchContext is Prefetch under a context; a cancelled prefetch
+// leaves no trace in the cache.
+func (e *Evaluator) PrefetchContext(ctx context.Context, p partition.Partition) {
+	_, _ = e.compute(ctx, p, p.Key(nil))
 }
 
 // scheduleUncounted is Prefetch returning its schedule: it computes and
 // caches without touching Runs, for speculative cost probes.
-func (e *Evaluator) scheduleUncounted(p partition.Partition) (*tam.Schedule, error) {
-	return e.compute(p, p.Key(nil))
+func (e *Evaluator) scheduleUncounted(ctx context.Context, p partition.Partition) (*tam.Schedule, error) {
+	return e.compute(ctx, p, p.Key(nil))
 }
 
 // TestTime returns the SOC test time for configuration p in cycles.
 func (e *Evaluator) TestTime(p partition.Partition) (int64, error) {
-	s, err := e.Schedule(p)
+	return e.TestTimeContext(nil, p)
+}
+
+// TestTimeContext is TestTime under a context; see ScheduleContext.
+func (e *Evaluator) TestTimeContext(ctx context.Context, p partition.Partition) (int64, error) {
+	s, err := e.ScheduleContext(ctx, p)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,11 +50,11 @@ type Planner struct {
 	// design-level cache shared across widths (see
 	// wrapper.StaircaseCache).
 	Staircases *wrapper.StaircaseCache
-	// Warm, when non-nil, is the completed schedule cache of an adjacent
-	// narrower width used to seed TAM runs (see Evaluator.Warm).
+	// Warm lists the completed schedule caches of adjacent widths used
+	// to seed TAM runs, nearest width first (see Evaluator.Warm).
 	// Warm-started packing is not guaranteed to reproduce cold makespans
-	// bit-for-bit; leave it nil where exact reproduction matters.
-	Warm *ScheduleCache
+	// bit-for-bit; leave it empty where exact reproduction matters.
+	Warm []*ScheduleCache
 }
 
 // NewPlanner returns a planner with the defaults used by the paper's
@@ -124,12 +125,12 @@ func (pl *Planner) evaluator() *Evaluator {
 }
 
 // evalAt completes an Evaluation for p given the all-share time.
-func (pl *Planner) evalAt(e *Evaluator, cm analog.CostModel, p partition.Partition, allShare int64) (Evaluation, error) {
+func (pl *Planner) evalAt(ctx context.Context, e *Evaluator, cm analog.CostModel, p partition.Partition, allShare int64) (Evaluation, error) {
 	ca, ltb, err := costParts(pl.Design, cm, p)
 	if err != nil {
 		return Evaluation{}, err
 	}
-	t, err := e.TestTime(p)
+	t, err := e.TestTimeContext(ctx, p)
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -169,6 +170,15 @@ func feasibleCandidates(cm analog.CostModel, d *Design, cands []partition.Partit
 // the results merged in candidate order, so the Result is identical to a
 // sequential run.
 func (pl *Planner) Exhaustive() (*Result, error) {
+	return pl.ExhaustiveContext(context.Background())
+}
+
+// ExhaustiveContext is Exhaustive under a context: the candidate loop,
+// the parallel prefetch, and the TAM packing hot loops all poll ctx, so
+// a caller can abort mid-run and get ctx.Err() back promptly. Aborted
+// packings are dropped from the shared caches rather than memoized, so
+// a later run on the same caches still produces bit-identical results.
+func (pl *Planner) ExhaustiveContext(ctx context.Context) (*Result, error) {
 	cm, policy, err := pl.defaults()
 	if err != nil {
 		return nil, err
@@ -187,16 +197,18 @@ func (pl *Planner) Exhaustive() (*Result, error) {
 	// every feasible candidate. Errors surface in the replay below.
 	if pl.workers() > 1 {
 		allShareP := pl.Design.AllShare()
-		forEach(len(feasible)+1, pl.workers(), func(i int) {
+		if err := ForEachCtx(ctx, len(feasible)+1, pl.workers(), func(i int) {
 			if i == 0 {
-				e.Prefetch(allShareP)
+				e.PrefetchContext(ctx, allShareP)
 				return
 			}
-			e.Prefetch(feasible[i-1])
-		})
+			e.PrefetchContext(ctx, feasible[i-1])
+		}); err != nil {
+			return nil, err
+		}
 	}
 
-	allShare, err := e.TestTime(pl.Design.AllShare())
+	allShare, err := e.TestTimeContext(ctx, pl.Design.AllShare())
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +216,7 @@ func (pl *Planner) Exhaustive() (*Result, error) {
 	res := &Result{Method: "exhaustive", Candidates: len(cands), Infeasible: rejected, AllShare: allShare}
 	best := -1
 	for _, p := range feasible {
-		ev, err := pl.evalAt(e, cm, p, allShare)
+		ev, err := pl.evalAt(ctx, e, cm, p, allShare)
 		if err != nil {
 			return nil, err
 		}
@@ -270,6 +282,12 @@ type candidate struct {
 // prefetches that the sequential algorithm would have pruned are never
 // accounted).
 func (pl *Planner) CostOptimizer() (*Result, error) {
+	return pl.CostOptimizerContext(context.Background())
+}
+
+// CostOptimizerContext is CostOptimizer under a context; see
+// ExhaustiveContext for the cancellation contract.
+func (pl *Planner) CostOptimizerContext(ctx context.Context) (*Result, error) {
 	cm, policy, err := pl.defaults()
 	if err != nil {
 		return nil, err
@@ -327,19 +345,21 @@ func (pl *Planner) CostOptimizer() (*Result, error) {
 	workers := pl.workers()
 	if workers > 1 {
 		allShareP := pl.Design.AllShare()
-		forEach(len(groups)+1, workers, func(i int) {
+		if err := ForEachCtx(ctx, len(groups)+1, workers, func(i int) {
 			if i == 0 {
-				e.Prefetch(allShareP)
+				e.PrefetchContext(ctx, allShareP)
 				return
 			}
-			e.Prefetch(groups[i-1].members[0].p)
-		})
+			e.PrefetchContext(ctx, groups[i-1].members[0].p)
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	// The all-share time normalizes CT; the all-share configuration is
 	// the single member of the 1-wrapper bucket under the paper's policy,
 	// so this evaluation is reused below via the cache.
-	allShare, err := e.TestTime(pl.Design.AllShare())
+	allShare, err := e.TestTimeContext(ctx, pl.Design.AllShare())
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +373,7 @@ func (pl *Planner) CostOptimizer() (*Result, error) {
 	reps := make([]repEval, 0, len(groups))
 	bestRep := math.Inf(1)
 	for _, g := range groups {
-		ev, err := pl.evalAt(e, cm, g.members[0].p, allShare)
+		ev, err := pl.evalAt(ctx, e, cm, g.members[0].p, allShare)
 		if err != nil {
 			return nil, err
 		}
@@ -386,18 +406,20 @@ func (pl *Planner) CostOptimizer() (*Result, error) {
 			spec = append(spec, r.g.members[1:]...)
 		}
 		bound := newIncumbent(best.Cost)
-		forEach(len(spec), workers, func(i int) {
+		if err := ForEachCtx(ctx, len(spec), workers, func(i int) {
 			m := spec[i]
 			if pl.PrunePrelim && m.prelim >= bound.load() {
 				return
 			}
-			s, err := e.scheduleUncounted(m.p)
+			s, err := e.scheduleUncounted(ctx, m.p)
 			if err != nil {
 				return // the replay reports it deterministically
 			}
 			ct := 100 * float64(s.Makespan) / float64(allShare)
 			bound.lower(pl.Weights.Time*ct + pl.Weights.Area*m.ca)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Lines 14-18: eliminate buckets, then fully evaluate survivors.
@@ -409,7 +431,7 @@ func (pl *Planner) CostOptimizer() (*Result, error) {
 			if pl.PrunePrelim && m.prelim >= best.Cost {
 				continue
 			}
-			ev, err := pl.evalAt(e, cm, m.p, allShare)
+			ev, err := pl.evalAt(ctx, e, cm, m.p, allShare)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -18,14 +19,30 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // them into index i of a pre-sized slice and merging after ForEach
 // returns. It is the fan-out primitive behind the parallel planner and
 // the experiment grids.
-func ForEach(n, workers int, fn func(i int)) { forEach(n, workers, fn) }
+func ForEach(n, workers int, fn func(i int)) { forEach(nil, n, workers, fn) }
 
-func forEach(n, workers int, fn func(i int)) {
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done
+// no further index is dispatched (indices already running finish their
+// fn call) and the context's error is returned. A nil ctx — and a ctx
+// that never fires — makes it behave exactly like ForEach and return
+// nil, so threading a context through a fan-out changes no result.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	forEach(ctx, n, workers, fn)
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func forEach(ctx context.Context, n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -37,6 +54,9 @@ func forEach(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

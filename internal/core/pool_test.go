@@ -14,16 +14,16 @@ func TestSplitWorkersEdges(t *testing.T) {
 		total, n             int
 		wantOuter, wantInner int
 	}{
-		{0, 5, 1, 1},   // zero CPU budget degrades to sequential
-		{-3, 5, 1, 1},  // negative budget likewise
-		{1, 5, 1, 1},   // one CPU: no parallelism anywhere
-		{1, 0, 1, 1},   // one CPU, empty grid
-		{8, 0, 1, 8},   // empty grid: all budget to the (vacuous) inner level
-		{8, 1, 1, 8},   // one cell: all budget inside it
-		{8, 4, 4, 2},   // even split
-		{8, 3, 3, 2},   // uneven: inner gets the floor, never oversubscribes
-		{4, 16, 4, 1},  // more cells than budget: inner sequential
-		{3, 2, 2, 1},   // budget not divisible by outer
+		{0, 5, 1, 1},  // zero CPU budget degrades to sequential
+		{-3, 5, 1, 1}, // negative budget likewise
+		{1, 5, 1, 1},  // one CPU: no parallelism anywhere
+		{1, 0, 1, 1},  // one CPU, empty grid
+		{8, 0, 1, 8},  // empty grid: all budget to the (vacuous) inner level
+		{8, 1, 1, 8},  // one cell: all budget inside it
+		{8, 4, 4, 2},  // even split
+		{8, 3, 3, 2},  // uneven: inner gets the floor, never oversubscribes
+		{4, 16, 4, 1}, // more cells than budget: inner sequential
+		{3, 2, 2, 1},  // budget not divisible by outer
 	}
 	for _, c := range cases {
 		outer, inner := SplitWorkers(c.total, c.n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -21,17 +22,22 @@ type SweepOptions struct {
 	// Cost_Optimizer heuristic runs.
 	Exhaustive bool
 	// WarmStart chains TAM packings across the width dimension: widths
-	// are solved in ascending order and every configuration packed at
-	// one width seeds the packing of the same configuration at the next
-	// width (tam.WithWarmStart), so the improve loop starts from a
-	// near-feasible schedule instead of packing three orderings from
-	// scratch. The chaining is deterministic — a width's caches are
-	// complete before the next width starts — but warm-started packing
-	// follows a different search trajectory than cold packing, so
-	// makespans can differ slightly from a cold sweep (in either
-	// direction; the polish loops are shared and monotone). The paper
-	// tables therefore run cold; use WarmStart for wide exploratory
-	// sweeps where throughput matters more than bit-exact
+	// are solved one at a time in the order the caller listed them, and
+	// each width's packings are seeded from the nearest *completed*
+	// width on either side — the best of the narrower and wider
+	// candidates wins per configuration (tam.WithWarmStart) — so the
+	// improve loop starts from a near-feasible schedule instead of
+	// packing three orderings from scratch. For the common ascending
+	// width list that degenerates to the classic "seed from the
+	// previous narrower width" chain; other orders (say, widest first,
+	// or middle-out) let wider completed widths seed narrower ones via
+	// a guided re-pack. The chaining is deterministic — a width's
+	// caches are complete before the next width starts — but
+	// warm-started packing follows a different search trajectory than
+	// cold packing, so makespans can differ slightly from a cold sweep
+	// (in either direction; the polish loops are shared and monotone).
+	// The paper tables therefore run cold; use WarmStart for wide
+	// exploratory sweeps where throughput matters more than bit-exact
 	// reproducibility.
 	WarmStart bool
 	// Configure adjusts each planner before it runs, e.g. to change the
@@ -48,9 +54,10 @@ type SweepOptions struct {
 	// order. In a cold sweep each selected point is bit-identical to
 	// the corresponding point of an unrestricted sweep; with WarmStart
 	// the chain runs over the selected widths only, each seeding from
-	// the nearest narrower *selected* width, so a point's makespan can
-	// differ from a full warm sweep's whenever the selection changes
-	// its seed (shard cold sweeps where exact reproduction matters).
+	// the nearest completed *selected* width on either side, so a
+	// point's makespan can differ from a full warm sweep's whenever the
+	// selection changes its seeds (shard cold sweeps where exact
+	// reproduction matters).
 	// Schedule caches exist only for widths with at least one selected
 	// point — an unselected width is never packed.
 	Select func(width int, weights Weights) bool
@@ -74,11 +81,41 @@ func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool, configur
 //
 // Without WarmStart the grid points fan out across the worker pool and
 // the result is bit-identical to a sequential cold sweep. With
-// WarmStart the width dimension runs in ascending order so each width
-// seeds the next (see SweepOptions.WarmStart). With Select only the
-// chosen grid points are solved — and only their widths ever allocate
-// a schedule cache or design a wrapper staircase.
+// WarmStart the width dimension runs one width at a time in the
+// caller's order, each width seeded from the nearest completed widths
+// (see SweepOptions.WarmStart). With Select only the chosen grid
+// points are solved — and only their widths ever allocate a schedule
+// cache or design a wrapper staircase.
 func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]SweepPoint, error) {
+	return SweepWithContext(context.Background(), d, widths, weights, opt)
+}
+
+// SweepWithContext is SweepWith under a context: once ctx fires no new
+// grid point is dispatched, the in-flight planners abort at their next
+// cancellation point, and the call returns ctx.Err(). Schedules whose
+// packing was aborted are dropped from the caches rather than memoized,
+// so the sweep's caches stay consistent across a cancellation.
+func SweepWithContext(ctx context.Context, d *Design, widths []int, weights []Weights, opt SweepOptions) ([]SweepPoint, error) {
+	return sweepWithCaches(ctx, d, widths, weights, opt, nil)
+}
+
+// sweepCaches supplies the caches a sweep plans against. The default
+// (nil) provider allocates fresh ones per sweep; an Engine session
+// provides its long-lived per-design caches instead, so repeated
+// sweeps over the same design reuse each other's packings.
+type sweepCaches interface {
+	// sweepStairs returns a staircase cache covering widths up to maxW.
+	sweepStairs(maxW int) *wrapper.StaircaseCache
+	// sweepCache returns the cold schedule cache for width w.
+	sweepCache(w int) *ScheduleCache
+}
+
+// sweepWithCaches is the sweep engine room. Schedule caches come from
+// the provider only for cold sweeps: a WarmStart sweep packs along a
+// different search trajectory, so its schedules must never enter a
+// shared cold cache (they would break the bit-identity of later cold
+// calls); it still shares the staircase cache, which is exact.
+func sweepWithCaches(ctx context.Context, d *Design, widths []int, weights []Weights, opt SweepOptions, prov sweepCaches) ([]SweepPoint, error) {
 	if len(widths) == 0 || len(weights) == 0 {
 		return nil, fmt.Errorf("core: sweep needs at least one width and one weight setting")
 	}
@@ -109,15 +146,24 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 	if len(keep) == 0 {
 		return nil, fmt.Errorf("core: sweep selection admits no grid points")
 	}
-	stairs := wrapper.NewStaircaseCache(maxW)
+	var stairs *wrapper.StaircaseCache
+	if prov != nil {
+		stairs = prov.sweepStairs(maxW)
+	} else {
+		stairs = wrapper.NewStaircaseCache(maxW)
+	}
 	caches := make(map[int]*ScheduleCache, len(selWidths))
 	for w := range selWidths {
-		caches[w] = NewScheduleCache()
+		if prov != nil && !opt.WarmStart {
+			caches[w] = prov.sweepCache(w)
+		} else {
+			caches[w] = NewScheduleCache()
+		}
 	}
 
 	out := make([]SweepPoint, len(weights)*len(widths))
 	errs := make([]error, len(out))
-	solve := func(i int, warm *ScheduleCache, inner int) {
+	solve := func(i int, warm []*ScheduleCache, inner int) {
 		wt := weights[i/len(widths)]
 		w := widths[i%len(widths)]
 		pl := NewPlanner(d, w, wt)
@@ -133,9 +179,9 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 			err error
 		)
 		if opt.Exhaustive {
-			res, err = pl.Exhaustive()
+			res, err = pl.ExhaustiveContext(ctx)
 		} else {
-			res, err = pl.CostOptimizer()
+			res, err = pl.CostOptimizerContext(ctx)
 		}
 		if err != nil {
 			errs[i] = fmt.Errorf("core: sweep W=%d wT=%.2f: %w", w, wt.Time, err)
@@ -146,33 +192,41 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 
 	if !opt.WarmStart {
 		outer, inner := SplitWorkers(workers, len(keep))
-		forEach(len(keep), outer, func(j int) { solve(keep[j], nil, inner) })
+		forEach(ctx, len(keep), outer, func(j int) { solve(keep[j], nil, inner) })
 	} else {
-		// Ascending unique selected widths; each width's caches complete
-		// before the next width starts, so every Peek is deterministic,
-		// and every seed comes from a width that actually packed.
-		asc := make([]int, 0, len(selWidths))
-		for w := range selWidths {
-			asc = append(asc, w)
-		}
-		slices.Sort(asc)
-		outer, inner := SplitWorkers(workers, len(weights))
-		for wi, w := range asc {
-			var warm *ScheduleCache
-			if wi > 0 {
-				warm = caches[asc[wi-1]]
+		// Selected widths in the caller's first-appearance order; each
+		// width's caches complete before the next width starts, so every
+		// Peek is deterministic, and every seed comes from a width that
+		// actually packed. The seeds for a width are the caches of the
+		// nearest completed width below and above it, nearest first
+		// (narrower on an exact distance tie).
+		order := make([]int, 0, len(selWidths))
+		seen := make(map[int]bool, len(selWidths))
+		for _, w := range widths {
+			if selWidths[w] && !seen[w] {
+				seen[w] = true
+				order = append(order, w)
 			}
+		}
+		outer, inner := SplitWorkers(workers, len(weights))
+		completed := make([]int, 0, len(order))
+		for _, w := range order {
+			warm := warmSources(completed, w, caches)
 			// Membership comes from the precomputed keep set, not a
 			// re-invocation of opt.Select, which need not be safe for
 			// concurrent use.
-			forEach(len(weights), outer, func(k int) {
+			forEach(ctx, len(weights), outer, func(k int) {
 				for ci, cw := range widths {
 					if cw == w && keepSet[k*len(widths)+ci] {
 						solve(k*len(widths)+ci, warm, inner)
 					}
 				}
 			})
+			completed = append(completed, w)
 		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -189,12 +243,45 @@ func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]
 	return pts, nil
 }
 
+// warmSources picks the warm-start seed caches for width w: the caches
+// of the nearest completed width below and above it, nearest first,
+// with the narrower width winning an exact distance tie.
+func warmSources(completed []int, w int, caches map[int]*ScheduleCache) []*ScheduleCache {
+	below, above := -1, -1
+	for _, c := range completed {
+		if c < w && (below < 0 || c > below) {
+			below = c
+		}
+		if c > w && (above < 0 || c < above) {
+			above = c
+		}
+	}
+	switch {
+	case below >= 0 && above >= 0:
+		if w-below <= above-w {
+			return []*ScheduleCache{caches[below], caches[above]}
+		}
+		return []*ScheduleCache{caches[above], caches[below]}
+	case below >= 0:
+		return []*ScheduleCache{caches[below]}
+	case above >= 0:
+		return []*ScheduleCache{caches[above]}
+	}
+	return nil
+}
+
 // WidthCurve returns the SOC test time of one fixed sharing
 // configuration across TAM widths: the staircase a designer inspects to
 // size the TAM. Times are non-increasing in W up to scheduling noise.
 // The widths share one staircase cache, so the digital wrappers are
 // designed once for the whole curve.
 func WidthCurve(d *Design, p partition.Partition, widths []int) ([]int64, error) {
+	return WidthCurveContext(context.Background(), d, p, widths)
+}
+
+// WidthCurveContext is WidthCurve under a context; the packing of each
+// width polls ctx and the call returns ctx.Err() once it fires.
+func WidthCurveContext(ctx context.Context, d *Design, p partition.Partition, widths []int) ([]int64, error) {
 	if len(widths) == 0 {
 		return nil, fmt.Errorf("core: width curve needs widths")
 	}
@@ -203,7 +290,7 @@ func WidthCurve(d *Design, p partition.Partition, widths []int) ([]int64, error)
 	for i, w := range widths {
 		ev := NewEvaluator(d, w)
 		ev.Staircases = stairs
-		t, err := ev.TestTime(p)
+		t, err := ev.TestTimeContext(ctx, p)
 		if err != nil {
 			return nil, err
 		}

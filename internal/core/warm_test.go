@@ -51,7 +51,7 @@ func TestEvaluatorWarmChaining(t *testing.T) {
 	}
 
 	evWide := NewSharedEvaluator(d, 48, nil)
-	evWide.Warm = prev
+	evWide.Warm = []*ScheduleCache{prev}
 	wide, err := evWide.Schedule(p)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestWarmChainingAllCandidates(t *testing.T) {
 		}
 	}
 	evWide := NewSharedEvaluator(d, 40, nil)
-	evWide.Warm = prev
+	evWide.Warm = []*ScheduleCache{prev}
 	for _, p := range combos {
 		s, err := evWide.Schedule(p)
 		if err != nil {

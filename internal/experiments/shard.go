@@ -11,6 +11,7 @@ package experiments
 // -merge; CI runs a 2-way sharded grid as a matrix job.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -199,6 +200,13 @@ type ShardResult struct {
 // and the staircase cache's prefix property makes the wrappers of a
 // narrower sweep identical to those of a wider one.
 func RunShard(d *core.Design, g Grid, shard, of int) (*ShardResult, error) {
+	return RunShardContext(context.Background(), d, g, shard, of)
+}
+
+// RunShardContext is RunShard under a context: cancellation aborts the
+// shard's cell computations at their next cancellation point and the
+// call returns ctx.Err(); no partial ShardResult is emitted.
+func RunShardContext(ctx context.Context, d *core.Design, g Grid, shard, of int) (*ShardResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,20 +234,20 @@ func RunShard(d *core.Design, g Grid, shard, of int) (*ShardResult, error) {
 	}
 
 	if len(t3Widths) > 0 {
-		res.Table3, err = Table3(d, t3Widths)
+		res.Table3, err = Table3Context(ctx, d, t3Widths)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if len(t4Cells) > 0 {
-		res.Table4, err = Table4Select(d, g.Table4Widths, g.Table4Weights,
+		res.Table4, err = Table4SelectContext(ctx, d, g.Table4Widths, g.Table4Weights,
 			func(w int, wt core.Weights) bool { return t4Cells[table4CellID(w, wt)] })
 		if err != nil {
 			return nil, err
 		}
 	}
 	if len(curveWidths) > 0 {
-		times, err := core.WidthCurve(d, d.AllShare(), curveWidths)
+		times, err := core.WidthCurveContext(ctx, d, d.AllShare(), curveWidths)
 		if err != nil {
 			return nil, err
 		}

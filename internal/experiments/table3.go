@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -38,6 +39,13 @@ type Table3Result struct {
 // staircase cache: each digital module's staircase is designed once at
 // the widest column and served to the narrower ones as a prefix.
 func Table3(d *core.Design, widths []int) (*Table3Result, error) {
+	return Table3Context(context.Background(), d, widths)
+}
+
+// Table3Context is Table3 under a context: once ctx fires no further
+// width column is dispatched, the in-flight TAM packings abort at their
+// next cancellation point, and the call returns ctx.Err().
+func Table3Context(ctx context.Context, d *core.Design, widths []int) (*Table3Result, error) {
 	if d == nil {
 		d = Design()
 	}
@@ -58,28 +66,28 @@ func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 	res.Lowest = make([]string, len(widths))
 	errs := make([]error, len(widths))
 	outer, inner := core.SplitWorkers(core.DefaultWorkers(), len(widths))
-	core.ForEach(len(widths), outer, func(wi int) {
+	if err := core.ForEachCtx(ctx, len(widths), outer, func(wi int) {
 		w := widths[wi]
 		ev := core.NewEvaluator(d, w)
 		ev.Staircases = stairs
 		if inner > 1 {
 			allShareP := d.AllShare()
-			core.ForEach(len(combos)+1, inner, func(i int) {
+			core.ForEachCtx(ctx, len(combos)+1, inner, func(i int) {
 				if i == 0 {
-					ev.Prefetch(allShareP)
+					ev.PrefetchContext(ctx, allShareP)
 					return
 				}
-				ev.Prefetch(combos[i-1])
+				ev.PrefetchContext(ctx, combos[i-1])
 			})
 		}
-		allShare, err := ev.TestTime(d.AllShare())
+		allShare, err := ev.TestTimeContext(ctx, d.AllShare())
 		if err != nil {
 			errs[wi] = err
 			return
 		}
 		low, high := -1.0, -1.0
 		for i, p := range combos {
-			t, err := ev.TestTime(p)
+			t, err := ev.TestTimeContext(ctx, p)
 			if err != nil {
 				errs[wi] = err
 				return
@@ -95,7 +103,9 @@ func Table3(d *core.Design, widths []int) (*Table3Result, error) {
 			}
 		}
 		res.Spread[wi] = high - low
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,13 +44,19 @@ type Table4Result struct {
 // are merged weights-major by index, so the table (costs, NEval,
 // selections) is identical to a sequential run.
 func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result, error) {
+	return Table4Context(context.Background(), d, widths, weights)
+}
+
+// Table4Context is Table4 under a context; see Table4SelectContext for
+// the cancellation contract.
+func Table4Context(ctx context.Context, d *core.Design, widths []int, weights []core.Weights) (*Table4Result, error) {
 	if len(widths) == 0 {
 		widths = PaperWidths
 	}
 	if len(weights) == 0 {
 		weights = PaperWeightSettings
 	}
-	cells, err := Table4Select(d, widths, weights, nil)
+	cells, err := Table4SelectContext(ctx, d, widths, weights, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +69,13 @@ func Table4(d *core.Design, widths []int, weights []core.Weights) (*Table4Result
 // staircase caches cover exactly the selected widths, so a sharded run
 // never packs a schedule (or designs a wrapper) its cells do not need.
 func Table4Select(d *core.Design, widths []int, weights []core.Weights, sel func(width int, wt core.Weights) bool) ([]Table4Cell, error) {
+	return Table4SelectContext(context.Background(), d, widths, weights, sel)
+}
+
+// Table4SelectContext is Table4Select under a context: once ctx fires
+// no further grid cell is dispatched, the in-flight solvers abort at
+// their next cancellation point, and the call returns ctx.Err().
+func Table4SelectContext(ctx context.Context, d *core.Design, widths []int, weights []core.Weights, sel func(width int, wt core.Weights) bool) ([]Table4Cell, error) {
 	if d == nil {
 		d = Design()
 	}
@@ -96,7 +110,7 @@ func Table4Select(d *core.Design, widths []int, weights []core.Weights, sel func
 	cells := make([]Table4Cell, len(keep))
 	errs := make([]error, len(keep))
 	outer, inner := core.SplitWorkers(core.DefaultWorkers(), len(keep))
-	core.ForEach(len(keep), outer, func(j int) {
+	if err := core.ForEachCtx(ctx, len(keep), outer, func(j int) {
 		i := keep[j]
 		wt := weights[i/len(widths)]
 		w := widths[i%len(widths)]
@@ -105,12 +119,12 @@ func Table4Select(d *core.Design, widths []int, weights []core.Weights, sel func
 		pl.Cache = caches[w]
 		pl.Staircases = stairs
 		pl.Workers = inner
-		ex, err := pl.Exhaustive()
+		ex, err := pl.ExhaustiveContext(ctx)
 		if err != nil {
 			errs[j] = err
 			return
 		}
-		h, err := pl.CostOptimizer()
+		h, err := pl.CostOptimizerContext(ctx)
 		if err != nil {
 			errs[j] = err
 			return
@@ -127,7 +141,9 @@ func Table4Select(d *core.Design, widths []int, weights []core.Weights, sel func
 			ReductionPercent: h.ReductionPercent(),
 			Optimal:          h.Best.Cost <= ex.Best.Cost+1e-9,
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

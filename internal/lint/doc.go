@@ -1,7 +1,8 @@
 // Package lint holds the repository's source-level hygiene checks,
 // enforced by `go test ./internal/lint` (CI's "Doc lint" step alongside
 // go vet). The only check today is doccheck_test.go: every exported
-// identifier of the public mixsoc package and of internal/core must
-// carry a godoc comment, so the API surface the README points at stays
-// self-describing.
+// identifier of the public mixsoc package, internal/core,
+// internal/experiments and internal/service must carry a godoc
+// comment, so the API surface the README points at — and the HTTP wire
+// types the service exposes — stay self-describing.
 package lint

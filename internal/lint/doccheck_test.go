@@ -12,10 +12,11 @@ import (
 )
 
 // checkedDirs are the packages whose exported surface must be fully
-// documented: the public API, the planning core it re-exports, and the
-// experiment grid (the shard API is cross-machine surface). Relative
-// to this package's directory.
-var checkedDirs = []string{"../..", "../core", "../experiments"}
+// documented: the public API, the planning core it re-exports, the
+// experiment grid (the shard API is cross-machine surface), and the
+// HTTP serving layer (its request/response types are wire surface).
+// Relative to this package's directory.
+var checkedDirs = []string{"../..", "../core", "../experiments", "../service"}
 
 // TestExportedDocComments fails for every exported top-level identifier
 // (type, function, method, const, var) in the checked packages that has

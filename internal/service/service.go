@@ -1,0 +1,314 @@
+// Package service exposes the planning Engine as an HTTP/JSON API —
+// the serving layer of the reproduction. Three endpoints:
+//
+//	POST /v1/plan     solve one (width, weights) point
+//	POST /v1/sweep    solve a (widths × weights) grid
+//	GET  /v1/designs  live cache sessions and cache-hit metrics
+//
+// plus GET /healthz for probes. Responses are bit-identical to direct
+// library calls (mixsoc.Plan, mixsoc.SweepWith): the engine's caches
+// only deduplicate deterministic work, floats survive Go's JSON
+// round-trip exactly, and msoc-plan -json emits the same bytes for the
+// same request, which CI diffs against a live server.
+//
+// Every request runs under a deadline (client-requested, capped by the
+// server) and inside a bounded worker pool: at most MaxConcurrent
+// requests plan at once, each with an equal share of the server's CPU
+// budget (core.SplitWorkers), and a saturated server answers 503
+// rather than queueing unboundedly. Cancelled or timed-out requests
+// abort mid-sweep via context cancellation, leaving the engine's
+// caches consistent.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mixsoc/internal/core"
+)
+
+// Options configures New. The zero value serves the paper benchmark
+// with sensible production defaults.
+type Options struct {
+	// Engine is the planning engine to serve; nil builds one sized for
+	// this server's worker pool.
+	Engine *core.Engine
+	// Workers is the server's total CPU budget across concurrent
+	// requests; 0 means core.DefaultWorkers().
+	Workers int
+	// MaxConcurrent bounds the planning requests in flight; further
+	// requests wait for a slot until their deadline and then get 503.
+	// Default 4 (or Workers, if smaller).
+	MaxConcurrent int
+	// RequestTimeout is the per-request planning deadline, which also
+	// caps client-supplied timeout_ms. Default 120s.
+	RequestTimeout time.Duration
+}
+
+// Server answers planning requests over HTTP; build with New, mount
+// via Handler.
+type Server struct {
+	engine  *core.Engine
+	sem     chan struct{}
+	timeout time.Duration
+}
+
+// New builds a server: it resolves the option defaults, splits the CPU
+// budget across the concurrency bound, and (when Options.Engine is
+// nil) creates an engine whose planners each use one slot's share.
+func New(opts Options) *Server {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = core.DefaultWorkers()
+	}
+	maxConc := opts.MaxConcurrent
+	if maxConc < 1 {
+		maxConc = 4
+	}
+	if maxConc > workers {
+		maxConc = workers
+	}
+	timeout := opts.RequestTimeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	_, inner := core.SplitWorkers(workers, maxConc)
+	engine := opts.Engine
+	if engine == nil {
+		engine = core.NewEngine(core.EngineOptions{Workers: inner})
+	}
+	return &Server{
+		engine:  engine,
+		sem:     make(chan struct{}, maxConc),
+		timeout: timeout,
+	}
+}
+
+// Engine returns the engine the server plans with.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// requestCtx derives the request's planning context: the client's
+// timeout_ms if given, capped by — and defaulting to — the server's
+// RequestTimeout.
+func (s *Server) requestCtx(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.timeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(parent, timeout)
+}
+
+// saturatedError reports a request that never got a worker-pool slot
+// before its deadline; the handler maps it to 503.
+type saturatedError struct{ cause error }
+
+func (e saturatedError) Error() string {
+	return fmt.Sprintf("service: worker pool saturated: %v", e.cause)
+}
+
+// acquire takes a worker-pool slot, or fails once ctx fires while the
+// pool is saturated. The returned release must be called when done.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, saturatedError{cause: ctx.Err()}
+	}
+}
+
+// Plan computes the response of POST /v1/plan for req — the exact code
+// path the HTTP handler runs, exported so msoc-plan -json produces
+// byte-identical output without a server.
+func (s *Server) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	if err := validateWidth(req.Width); err != nil {
+		return nil, err
+	}
+	wt := 0.5
+	if req.WT != nil {
+		wt = *req.WT
+	}
+	weights, err := weightsFor(wt)
+	if err != nil {
+		return nil, err
+	}
+	d, err := resolveDesign(req.Design, req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := core.DesignHash(d)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	var res *core.Result
+	if req.Exhaustive {
+		res, err = s.engine.PlanExhaustive(ctx, d, req.Width, weights)
+	} else {
+		res, err = s.engine.Plan(ctx, d, req.Width, weights)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &PlanResponse{DesignHash: hash, Width: req.Width, Weights: weights, Result: res}, nil
+}
+
+// Sweep computes the response of POST /v1/sweep for req; see Plan.
+func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	if len(req.Widths) == 0 {
+		return nil, badRequestf("sweep needs at least one width")
+	}
+	for _, w := range req.Widths {
+		if err := validateWidth(w); err != nil {
+			return nil, err
+		}
+	}
+	wts := req.WTs
+	if len(wts) == 0 {
+		wts = []float64{0.5}
+	}
+	weights := make([]core.Weights, len(wts))
+	for i, wt := range wts {
+		w, err := weightsFor(wt)
+		if err != nil {
+			return nil, err
+		}
+		weights[i] = w
+	}
+	if cells := len(req.Widths) * len(weights); cells > MaxSweepCells {
+		return nil, badRequestf("sweep grid of %d cells exceeds the %d-cell bound", cells, MaxSweepCells)
+	}
+	d, err := resolveDesign(req.Design, req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := core.DesignHash(d)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	points, err := s.engine.Sweep(ctx, d, req.Widths, weights, core.SweepOptions{
+		Exhaustive: req.Exhaustive,
+		WarmStart:  req.WarmStart,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResponse{DesignHash: hash, Points: points}, nil
+}
+
+// Designs computes the response of GET /v1/designs.
+func (s *Server) Designs() *DesignsResponse {
+	return &DesignsResponse{Designs: s.engine.Designs(), Metrics: s.engine.Metrics()}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Plan(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResponse(w, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Sweep(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResponse(w, resp)
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	writeResponse(w, s.Designs())
+}
+
+// decodeBody parses a JSON request body under the size bound, writing
+// the 400 itself (and returning false) on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeStatus(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := WriteJSON(w, v); err != nil {
+		// Headers are gone; nothing to do but note it for the client.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeError maps an error to its HTTP status: validation to 400,
+// deadline to 504, cancellation to 499 (client gone), anything else to
+// 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var bad badRequestError
+	var sat saturatedError
+	switch {
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.As(err, &sat):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	}
+	writeStatus(w, status, err.Error())
+}
+
+func writeStatus(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = WriteJSON(w, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mixsoc/internal/core"
+	"mixsoc/internal/experiments"
+)
+
+// Request size and grid bounds enforced by validation, so one request
+// cannot monopolize the service.
+const (
+	// MaxRequestBytes bounds the request body, dominated by inline
+	// designs (the paper benchmark marshals to ~8 KB).
+	MaxRequestBytes = 4 << 20
+	// MaxWidth bounds the TAM width of any request.
+	MaxWidth = 4096
+	// MaxSweepCells bounds len(widths) × len(weights) of one sweep.
+	MaxSweepCells = 4096
+)
+
+// BenchmarkP93791M names the built-in paper benchmark design, the
+// default when a request carries no inline design.
+const BenchmarkP93791M = "p93791m"
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	// Design is an inline design in the canonical core.MarshalDesign
+	// JSON form; empty means the named Benchmark.
+	Design json.RawMessage `json:"design,omitempty"`
+	// Benchmark names a built-in design (only "p93791m" today); empty
+	// with no Design also means p93791m.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Width is the SOC-level TAM width W.
+	Width int `json:"width"`
+	// WT is the test-time cost weight wT (wA = 1 − wT); nil means 0.5.
+	WT *float64 `json:"wt,omitempty"`
+	// Exhaustive selects the exhaustive baseline instead of the
+	// Cost_Optimizer heuristic.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// TimeoutMS caps this request's planning time in milliseconds; 0
+	// inherits the server default. Values above the server cap are
+	// clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan — the exact
+// core.Result a direct library call returns, plus the design's content
+// hash (the engine cache key) and the grid coordinate.
+type PlanResponse struct {
+	// DesignHash is the content hash the engine cached the design under.
+	DesignHash string `json:"design_hash"`
+	// Width echoes the planned TAM width.
+	Width int `json:"width"`
+	// Weights echoes the cost weights the plan used.
+	Weights core.Weights `json:"weights"`
+	// Result is the planning outcome, bit-identical to mixsoc.Plan.
+	Result *core.Result `json:"result"`
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	// Design is an inline design; see PlanRequest.Design.
+	Design json.RawMessage `json:"design,omitempty"`
+	// Benchmark names a built-in design; see PlanRequest.Benchmark.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Widths are the TAM widths to sweep.
+	Widths []int `json:"widths"`
+	// WTs are the test-time weights to sweep (each with wA = 1 − wT);
+	// empty means the single balanced setting 0.5.
+	WTs []float64 `json:"wts,omitempty"`
+	// Exhaustive selects the exhaustive baseline per grid point.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// WarmStart chains TAM packings across widths — faster, but
+	// makespans may deviate a few percent from a cold sweep (see
+	// core.SweepOptions.WarmStart); cold results are bit-identical to
+	// direct mixsoc.SweepWith calls.
+	WarmStart bool `json:"warm_start,omitempty"`
+	// TimeoutMS caps this request's planning time; see
+	// PlanRequest.TimeoutMS.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	// DesignHash is the content hash the engine cached the design under.
+	DesignHash string `json:"design_hash"`
+	// Points are the solved grid points in weights-major order, each
+	// bit-identical to the corresponding direct mixsoc.SweepWith point
+	// (cold sweeps).
+	Points []core.SweepPoint `json:"points"`
+}
+
+// DesignsResponse is the body of GET /v1/designs: the engine's live
+// cache sessions and its cache-efficiency counters.
+type DesignsResponse struct {
+	// Designs lists the live cache sessions, most recently used first.
+	Designs []core.DesignInfo `json:"designs"`
+	// Metrics aggregates the engine's cache counters.
+	Metrics core.EngineMetrics `json:"metrics"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is a human-readable description of what the request got
+	// wrong (4xx) or what failed (5xx).
+	Error string `json:"error"`
+}
+
+// badRequestError marks validation failures so the handler maps them to
+// 400 instead of 500.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveDesign turns a request's design fields into a *Design: an
+// inline canonical-JSON design, a named benchmark, or the default
+// p93791m.
+func resolveDesign(inline json.RawMessage, benchmark string) (*core.Design, error) {
+	if len(inline) > 0 {
+		if benchmark != "" {
+			return nil, badRequestf("give either an inline design or a benchmark name, not both")
+		}
+		d, err := core.UnmarshalDesign(inline)
+		if err != nil {
+			return nil, badRequestf("bad inline design: %v", err)
+		}
+		return d, nil
+	}
+	switch benchmark {
+	case "", BenchmarkP93791M:
+		return experiments.Design(), nil
+	}
+	return nil, badRequestf("unknown benchmark %q (have %q)", benchmark, BenchmarkP93791M)
+}
+
+// weightsFor builds and validates the cost weights from a wT value.
+func weightsFor(wt float64) (core.Weights, error) {
+	w := core.Weights{Time: wt, Area: 1 - wt}
+	if err := w.Validate(); err != nil {
+		return core.Weights{}, badRequestf("bad weight wt=%v: %v", wt, err)
+	}
+	return w, nil
+}
+
+func validateWidth(w int) error {
+	if w < 1 || w > MaxWidth {
+		return badRequestf("width %d out of range [1, %d]", w, MaxWidth)
+	}
+	return nil
+}
+
+// WriteJSON writes v as indented JSON with a trailing newline — the
+// exact bytes the HTTP handlers send, shared with msoc-plan -json so
+// CLI output and service responses can be diffed byte for byte.
+func WriteJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

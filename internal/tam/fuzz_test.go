@@ -37,19 +37,26 @@ func randomJobs(seed int64, nJobs, binWidth int) []*Job {
 	return jobs
 }
 
-// FuzzBitmaskFitter packs random job sets twice — once with the uint64
-// free-mask band search and once with the per-wire counter scan it
-// replaced — and requires bit-identical earliest-fit answers and
-// placements at every step. The counter scan is the reference
-// implementation; any divergence is a bug in the bitmask path.
+// FuzzBitmaskFitter packs random job sets twice — once with the bitset
+// band search (single-word for bins ≤ 64 wires, multi-word beyond) and
+// once with the per-wire counter scan it replaced — and requires
+// bit-identical earliest-fit answers and placements at every step. The
+// counter scan is the reference implementation; any divergence is a bug
+// in the bitset paths.
 func FuzzBitmaskFitter(f *testing.F) {
 	f.Add(int64(1), uint8(8), uint8(12))
 	f.Add(int64(7), uint8(1), uint8(5))
 	f.Add(int64(42), uint8(63), uint8(16))
 	f.Add(int64(99), uint8(31), uint8(9))
 	f.Add(int64(1234), uint8(47), uint8(14))
+	// Multi-word widths: just past one word, two full words, and wider.
+	f.Add(int64(5), uint8(64), uint8(12))
+	f.Add(int64(17), uint8(65), uint8(10))
+	f.Add(int64(23), uint8(127), uint8(15))
+	f.Add(int64(31), uint8(128), uint8(8))
+	f.Add(int64(77), uint8(200), uint8(13))
 	f.Fuzz(func(t *testing.T, seed int64, widthByte, nByte uint8) {
-		binWidth := 1 + int(widthByte)%64
+		binWidth := 1 + int(widthByte)
 		n := 2 + int(nByte)%14
 		jobs := randomJobs(seed, n, binWidth)
 
@@ -59,7 +66,10 @@ func FuzzBitmaskFitter(f *testing.F) {
 		scan := newFitter(opts, binWidth, cfg)
 		scan.useMask = false
 		if !mask.useMask {
-			t.Fatalf("binWidth %d should select the mask path", binWidth)
+			t.Fatalf("binWidth %d should select a bitset path", binWidth)
+		}
+		if (binWidth > 64) != (mask.busyWords != nil) {
+			t.Fatalf("binWidth %d: wrong bitset representation selected", binWidth)
 		}
 
 		s := &Schedule{Width: binWidth}
@@ -129,6 +139,77 @@ func TestRunMask(t *testing.T) {
 		w := 1 + rng.Intn(64)
 		if got, want := runMask(free, w), ref(free, w); got != want {
 			t.Fatalf("runMask(%#x, %d) = %#x, want %#x", free, w, got, want)
+		}
+	}
+}
+
+// TestLowestFreeRun pins the multi-word band search against a
+// wire-by-wire reference across word-boundary-straddling runs, partial
+// last words, and random bitsets.
+func TestLowestFreeRun(t *testing.T) {
+	ref := func(busy []uint64, binWidth, w int) int {
+		run := 0
+		for wire := 0; wire < binWidth; wire++ {
+			if busy[wire>>6]&(1<<uint(wire&63)) != 0 {
+				run = 0
+				continue
+			}
+			run++
+			if run >= w {
+				return wire - w + 1
+			}
+		}
+		return -1
+	}
+	set := func(busy []uint64, wires ...int) {
+		for _, wire := range wires {
+			busy[wire>>6] |= 1 << uint(wire&63)
+		}
+	}
+
+	// Hand-picked shapes: empty bitset, a run straddling the 64-bit
+	// boundary, a fully busy middle word, and a partial last word.
+	for _, binWidth := range []int{65, 100, 128, 129, 200} {
+		words := (binWidth + 63) / 64
+		empty := make([]uint64, words)
+		for _, w := range []int{1, 63, 64, 65, binWidth, binWidth + 1} {
+			if got, want := lowestFreeRun(empty, binWidth, w), ref(empty, binWidth, w); got != want {
+				t.Fatalf("empty bitset binWidth=%d w=%d: got %d, want %d", binWidth, w, got, want)
+			}
+		}
+		straddle := make([]uint64, words)
+		for wire := 0; wire < 60; wire++ {
+			set(straddle, wire)
+		}
+		for wire := 70; wire < binWidth; wire++ {
+			set(straddle, wire)
+		}
+		for _, w := range []int{1, 5, 10, 11} {
+			if got, want := lowestFreeRun(straddle, binWidth, w), ref(straddle, binWidth, w); got != want {
+				t.Fatalf("straddle binWidth=%d w=%d: got %d, want %d", binWidth, w, got, want)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		binWidth := 65 + rng.Intn(200)
+		words := (binWidth + 63) / 64
+		busy := make([]uint64, words)
+		for wi := range busy {
+			switch rng.Intn(4) {
+			case 0: // mostly busy
+				busy[wi] = rng.Uint64() | rng.Uint64()
+			case 1: // mostly free
+				busy[wi] = rng.Uint64() & rng.Uint64() & rng.Uint64()
+			case 2:
+				busy[wi] = rng.Uint64()
+			case 3: // all free
+			}
+		}
+		w := 1 + rng.Intn(binWidth+2)
+		if got, want := lowestFreeRun(busy, binWidth, w), ref(busy, binWidth, w); got != want {
+			t.Fatalf("random bitset %d (binWidth=%d, w=%d): got %d, want %d", i, binWidth, w, got, want)
 		}
 	}
 }

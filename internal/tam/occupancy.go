@@ -27,21 +27,27 @@ import (
 //     order by merging the byStart/byEnd index orders, which
 //     bestPlacement builds once per job and shares across every width
 //     option of that job;
-//   - for bins of at most 64 wires — every width the paper sweeps — the
-//     band search maintains a uint64 busy mask alongside the per-wire
+//   - the band search maintains a busy bitset alongside the per-wire
 //     counters, turning the O(W) lowest-free-band scan at each
-//     candidate time into a handful of word operations (see runMask).
-//     The counter scan remains both the ≥ 65-wire fallback and the
-//     reference implementation the bitmask path is fuzzed against
+//     candidate time into word operations: a single uint64 with a
+//     shift-and-AND lowest-run search for bins of at most 64 wires —
+//     every width the paper sweeps — (see runMask), and a multi-word
+//     bitset walked a word at a time (see lowestFreeRun) for wider
+//     bins. The counter scan survives only as the reference
+//     implementation both bitset paths are fuzzed against
 //     (FuzzBitmaskFitter).
 type fitter struct {
 	binWidth int
 	cfg      config
 
-	// useMask selects the uint64 free-mask band search; widthMask has
-	// the low binWidth bits set so wires outside the bin read as busy.
+	// useMask selects the bitset band search (the default for every bin
+	// width; tests clear it to force the counter-scan reference).
+	// widthMask has the low binWidth bits set so wires outside a ≤ 64
+	// bin read as busy; busyWords is the multi-word busy bitset of a
+	// wider bin.
 	useMask   bool
 	widthMask uint64
+	busyWords []uint64
 
 	// opts maps each job to its candidate width options, precomputed by
 	// newOptionTable. Read-only after construction; safe to share.
@@ -70,10 +76,12 @@ func newFitter(opts map[*Job][]wrapper.Point, binWidth int, cfg config) *fitter 
 		cfg:      cfg,
 		opts:     opts,
 		occ:      make([]int32, binWidth),
+		useMask:  true,
 	}
 	if binWidth <= 64 {
-		f.useMask = true
 		f.widthMask = ^uint64(0) >> uint(64-binWidth)
+	} else {
+		f.busyWords = make([]uint64, (binWidth+63)/64)
 	}
 	return f
 }
@@ -156,10 +164,13 @@ func (g *candGen) next(t int64) int64 {
 // constraint and — on the bitmask path — a few word operations for the
 // band search.
 func (f *fitter) earliestFit(j *Job, w int, dur int64, placements []Placement, limit int64) (int64, int, bool) {
-	if f.useMask {
+	switch {
+	case !f.useMask:
+		return f.earliestFitScan(j, w, dur, placements, limit)
+	case f.binWidth <= 64:
 		return f.earliestFitMask(j, w, dur, placements, limit)
 	}
-	return f.earliestFitScan(j, w, dur, placements, limit)
+	return f.earliestFitMaskWide(j, w, dur, placements, limit)
 }
 
 // earliestFitMask is the ≤ 64-wire fast path: the per-wire counters are
@@ -240,8 +251,120 @@ func runMask(free uint64, w int) uint64 {
 	return m
 }
 
-// earliestFitScan is the counter-scan reference implementation and the
-// fallback for bins wider than 64 wires.
+// earliestFitMaskWide is the > 64-wire bitset path: the same sweep as
+// earliestFitMask, with the busy bits spread across a []uint64 bitset
+// and the band search walking it a word at a time (lowestFreeRun), so a
+// candidate check costs O(W/64) word steps plus one step per free/busy
+// transition instead of an O(W) per-wire scan.
+func (f *fitter) earliestFitMaskWide(j *Job, w int, dur int64, placements []Placement, limit int64) (int64, int, bool) {
+	n := len(placements)
+	byStart, byEnd := f.byStart, f.byEnd
+
+	occ := f.occ[:f.binWidth]
+	clear(occ)
+	busy := f.busyWords
+	clear(busy)
+	groupActive := 0
+	si, ei := 0, 0
+	gen := candGen{placements: placements, byStart: byStart, byEnd: byEnd, dur: dur}
+	for t := int64(0); t <= limit; {
+		for si < n && placements[byStart[si]].Start < t+dur {
+			p := &placements[byStart[si]]
+			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+				if occ[wire] == 0 {
+					busy[wire>>6] |= 1 << uint(wire&63)
+				}
+				occ[wire]++
+			}
+			if j.Group != "" && p.Job.Group == j.Group {
+				groupActive++
+			}
+			si++
+		}
+		for ei < n && placements[byEnd[ei]].End <= t {
+			p := &placements[byEnd[ei]]
+			for wire := p.WireLo; wire < p.WireLo+p.Width; wire++ {
+				occ[wire]--
+				if occ[wire] == 0 {
+					busy[wire>>6] &^= 1 << uint(wire&63)
+				}
+			}
+			if j.Group != "" && p.Job.Group == j.Group {
+				groupActive--
+			}
+			ei++
+		}
+		if groupActive == 0 {
+			if lo := lowestFreeRun(busy, f.binWidth, w); lo >= 0 {
+				return t, lo, true
+			}
+		}
+		nt := gen.next(t)
+		if nt == math.MaxInt64 {
+			break
+		}
+		t = nt
+	}
+	return 0, 0, false
+}
+
+// lowestFreeRun returns the lowest wire index starting a run of w free
+// (zero) bits in the busy bitset, or -1 if no such band exists below
+// binWidth. Runs may span word boundaries; fully free and fully busy
+// words are consumed in one step, and mixed words advance one free/busy
+// transition at a time via trailing-zero counts, matching the counter
+// scan's first-run answer exactly.
+func lowestFreeRun(busy []uint64, binWidth, w int) int {
+	run := 0 // free run ending just before the current position
+	for wi := range busy {
+		base := wi << 6
+		valid := binWidth - base
+		if valid > 64 {
+			valid = 64
+		}
+		free := ^busy[wi]
+		if valid < 64 {
+			free &= 1<<uint(valid) - 1
+		}
+		if free == 0 {
+			run = 0
+			continue
+		}
+		if valid == 64 && free == ^uint64(0) {
+			if run+64 >= w {
+				return base - run
+			}
+			run += 64
+			continue
+		}
+		for off := 0; off < valid; {
+			x := free >> uint(off)
+			if x&1 == 0 {
+				z := bits.TrailingZeros64(x)
+				if z > valid-off {
+					z = valid - off
+				}
+				off += z
+				run = 0
+				continue
+			}
+			ones := bits.TrailingZeros64(^x)
+			if ones > valid-off {
+				ones = valid - off
+			}
+			if run+ones >= w {
+				return base + off - run
+			}
+			run += ones
+			off += ones
+		}
+	}
+	return -1
+}
+
+// earliestFitScan is the per-wire counter-scan reference implementation
+// the two bitset paths are differentially fuzzed against; production
+// queries always take a bitset path.
 func (f *fitter) earliestFitScan(j *Job, w int, dur int64, placements []Placement, limit int64) (int64, int, bool) {
 	n := len(placements)
 	byStart, byEnd := f.byStart, f.byEnd

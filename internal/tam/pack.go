@@ -1,6 +1,7 @@
 package tam
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,7 +15,18 @@ type Option func(*config)
 type config struct {
 	improvePasses int
 	paretoOnly    bool
-	warm          *Schedule
+	warm          []*Schedule
+	ctx           context.Context
+}
+
+// ctxErr reports the config's context error, treating a nil context as
+// never cancelled. It is the single cancellation probe of the packing
+// loops.
+func (c *config) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // WithImprovePasses bounds the post-packing improvement loop; 0 disables
@@ -32,15 +44,24 @@ func WithFullStaircase() Option {
 }
 
 // WithWarmStart seeds the packing with a schedule of the same job set
-// from an adjacent (typically narrower) bin: a schedule packed at width
-// W is feasible verbatim in any wider bin, so the optimizer adopts its
-// placements — matching jobs by ID and re-deriving durations from the
-// current staircases — and goes straight to the repack/improve polish,
-// which re-places every job against the wider bin, instead of packing
-// three orderings from scratch. A seed that does not match the job set
-// (different IDs, widths outside the staircase, or an infeasible
-// layout) is ignored and the packer falls back to the cold path, so a
-// stale seed can never corrupt a result.
+// from an adjacent bin. A seed from a narrower (or equal-width) bin is
+// feasible verbatim in this bin, so the optimizer adopts its placements
+// — matching jobs by ID and re-deriving durations from the current
+// staircases — and goes straight to the repack/improve polish, which
+// re-places every job against the wider bin, instead of packing three
+// orderings from scratch. A seed from a wider bin cannot be adopted
+// verbatim (its placements may overflow the narrower bin); instead the
+// jobs are re-placed earliest-fit in the seed's placement order, a
+// single guided packing that inherits the seed's structure at a third
+// of the cold cost. A seed that does not match the job set (different
+// IDs, or widths outside the staircase) is ignored, so a stale seed can
+// never corrupt a result; with no usable seed the packer falls back to
+// the cold path.
+//
+// The option may be given several times — e.g. the nearest completed
+// width on either side of a sweep — in which case every seed is adopted
+// (or adapted) and the one with the smallest pre-polish makespan wins,
+// earlier options winning ties.
 //
 // Warm-started packing follows a different search trajectory than cold
 // packing: makespans stay close (the polish loops are shared and
@@ -48,7 +69,14 @@ func WithFullStaircase() Option {
 // reproduce cold results exactly — the paper-table reproductions — must
 // not use it; see core.SweepOptions.WarmStart for the opt-in chaining.
 func WithWarmStart(seed *Schedule) Option {
-	return func(c *config) { c.warm = seed }
+	return func(c *config) { c.warm = append(c.warm, seed) }
+}
+
+// WithContext makes the packing cancellable: the placement loops poll
+// ctx between jobs and Optimize returns ctx.Err() once it fires. A nil
+// ctx (and the zero option value) means never cancelled.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 // Optimize packs the jobs into a TAM of the given width and returns a
@@ -122,21 +150,40 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 
 	shared := newFitter(newOptionTable(jobs, width, cfg), width, cfg)
 
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
+
 	// A usable warm seed replaces the three cold packing orderings: the
-	// adopted schedule is already feasible at this width, so the
-	// repack/improve polish — the same loops the cold path runs on its
-	// winner — does all remaining work, with repack letting every job
-	// widen into the new wires.
-	if cfg.warm != nil {
-		if s := adoptSeed(jobs, width, cfg.warm); s != nil {
-			if cfg.improvePasses > 0 {
-				repack(s, shared)
-				improve(s, shared)
+	// adopted (narrower seed) or re-placed (wider seed) schedule is
+	// already feasible at this width, so the repack/improve polish — the
+	// same loops the cold path runs on its winner — does all remaining
+	// work, with repack letting every job widen into the new wires. With
+	// several seeds the cheapest pre-polish makespan wins, earlier seeds
+	// winning ties.
+	if len(cfg.warm) > 0 {
+		var adopted *Schedule
+		for _, seed := range cfg.warm {
+			s := adoptSeed(jobs, width, seed)
+			if s == nil {
+				s = shrinkSeed(jobs, width, seed, shared)
 			}
-			if err := s.Validate(); err != nil {
+			if s != nil && (adopted == nil || s.Makespan < adopted.Makespan) {
+				adopted = s
+			}
+		}
+		if adopted != nil {
+			if cfg.improvePasses > 0 {
+				repack(adopted, shared)
+				improve(adopted, shared)
+			}
+			if err := cfg.ctxErr(); err != nil {
+				return nil, err
+			}
+			if err := adopted.Validate(); err != nil {
 				return nil, fmt.Errorf("tam: internal error: produced invalid schedule: %w", err)
 			}
-			return s, nil
+			return adopted, nil
 		}
 	}
 
@@ -181,6 +228,9 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 		improve(best, shared)
 	}
 
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
 	if err := best.Validate(); err != nil {
 		return nil, fmt.Errorf("tam: internal error: produced invalid schedule: %w", err)
 	}
@@ -221,12 +271,70 @@ func adoptSeed(jobs []*Job, width int, seed *Schedule) *Schedule {
 	return s
 }
 
+// shrinkSeed adapts a warm-start seed from a WIDER bin, which cannot be
+// adopted verbatim (its placements may overflow the narrower bin): the
+// jobs are re-placed earliest-fit in the seed's placement order (start,
+// wire, ID), a single guided packing that inherits the seed's structure
+// for a third of the three-ordering cold cost. It returns nil if the
+// seed is not from a wider bin or does not describe exactly this job
+// set, in which case the caller packs cold.
+func shrinkSeed(jobs []*Job, width int, seed *Schedule, f *fitter) *Schedule {
+	if seed == nil || seed.Width <= width || len(seed.Placements) != len(jobs) {
+		return nil
+	}
+	byID := make(map[string]*Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	idx := make([]int, len(seed.Placements))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := &seed.Placements[idx[a]], &seed.Placements[idx[b]]
+		if pa.Start != pb.Start {
+			return pa.Start < pb.Start
+		}
+		if pa.WireLo != pb.WireLo {
+			return pa.WireLo < pb.WireLo
+		}
+		return pa.Job.ID < pb.Job.ID
+	})
+	order := make([]*Job, 0, len(jobs))
+	for _, i := range idx {
+		j := byID[seed.Placements[i].Job.ID]
+		if j == nil {
+			return nil
+		}
+		delete(byID, j.ID) // each job exactly once
+		order = append(order, j)
+	}
+	if len(byID) != 0 {
+		return nil
+	}
+	s := &Schedule{Width: width, Placements: make([]Placement, 0, len(order))}
+	for _, j := range order {
+		p, ok := f.bestPlacement(j, s.Placements)
+		if !ok {
+			return nil
+		}
+		s.Placements = append(s.Placements, p)
+		if p.End > s.Makespan {
+			s.Makespan = p.End
+		}
+	}
+	return s
+}
+
 // packList packs the jobs in the given order and runs the improvement
 // loop.
 func packList(order []*Job, f *fitter) (*Schedule, error) {
 	s := &Schedule{Width: f.binWidth}
 	s.Placements = make([]Placement, 0, len(order))
 	for _, j := range order {
+		if err := f.cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		p, ok := f.bestPlacement(j, s.Placements)
 		if !ok {
 			return nil, fmt.Errorf("tam: could not place job %s", j.ID)
@@ -250,6 +358,12 @@ func packList(order []*Job, f *fitter) (*Schedule, error) {
 func repack(s *Schedule, f *fitter) {
 	done := make(map[*Job]bool, len(s.Placements))
 	for {
+		// On cancellation the schedule is abandoned by Optimize, so
+		// bailing between steps (possibly leaving Makespan un-tightened)
+		// is safe.
+		if f.cfg.ctxErr() != nil {
+			return
+		}
 		worst := -1
 		for i := range s.Placements {
 			p := &s.Placements[i]
@@ -321,6 +435,10 @@ func improve(s *Schedule, f *fitter) {
 		clear(tried)
 		moved := false
 		for {
+			// Cancelled runs are abandoned by Optimize; see repack.
+			if f.cfg.ctxErr() != nil {
+				return
+			}
 			// The next makespan-defining placement not yet tried this
 			// pass (stable choice by ID).
 			worst := -1

@@ -1,6 +1,8 @@
 package tam
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -188,5 +190,37 @@ func TestOptimizeConcurrentOrderingsDeterministic(t *testing.T) {
 		if s.CSV() != ref.CSV() {
 			t.Fatalf("run %d: schedule differs from first run", i)
 		}
+	}
+}
+
+// A cancelled context aborts Optimize with the context's error — from
+// the cold three-ordering race and from the warm-adoption path alike —
+// while a live context changes nothing.
+func TestOptimizeContextCancellation(t *testing.T) {
+	jobs := digitalJobs(t, 48)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(jobs, 48, WithContext(cancelled)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold pack under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	seed, err := Optimize(jobs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(jobs, 48, WithWarmStart(seed), WithContext(cancelled)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm pack under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	cold, err := Optimize(jobs, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Optimize(jobs, 48, WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.CSV() != cold.CSV() {
+		t.Error("live context perturbed the packing")
 	}
 }

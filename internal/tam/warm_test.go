@@ -90,9 +90,11 @@ func TestWarmStartIgnoresForeignSeed(t *testing.T) {
 	}
 }
 
-// A seed from a WIDER bin than the target must be rejected (its
-// placements may not fit), falling back to cold packing.
-func TestWarmStartRejectsWiderSeed(t *testing.T) {
+// A seed from a WIDER bin cannot be adopted verbatim (its placements
+// may not fit); it is adapted by re-placing the jobs in the seed's
+// order, which must yield a valid, deterministic schedule at the
+// narrower width that stays close to cold quality.
+func TestWarmStartAdaptsWiderSeed(t *testing.T) {
 	jobs := digitalJobs(t, 64)
 	seed, err := Optimize(jobs, 64)
 	if err != nil {
@@ -109,8 +111,68 @@ func TestWarmStartRejectsWiderSeed(t *testing.T) {
 	if err := warm.Validate(); err != nil {
 		t.Fatalf("warm schedule invalid: %v", err)
 	}
-	if warm.CSV() != cold.CSV() {
-		t.Error("wider seed was not rejected")
+	if warm.Width != 32 {
+		t.Fatalf("warm width = %d, want 32", warm.Width)
+	}
+	if ratio := float64(warm.Makespan) / float64(cold.Makespan); ratio > 1.15 {
+		t.Errorf("shrunk warm makespan %d is %.2fx the cold %d", warm.Makespan, ratio, cold.Makespan)
+	}
+	again, err := Optimize(jobs, 32, WithWarmStart(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CSV() != warm.CSV() {
+		t.Error("wider-seed adaptation not deterministic")
+	}
+	// A foreign wider seed is still ignored: exactly the cold packing.
+	foreign := &Schedule{Width: 96, Makespan: 10, Placements: []Placement{
+		{Job: fixedJob("not-a-p93791-core", 2, 10), Width: 2, Start: 0, End: 10, WireLo: 0},
+	}}
+	fromForeign, err := Optimize(jobs, 32, WithWarmStart(foreign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromForeign.CSV() != cold.CSV() {
+		t.Error("foreign wider seed was not ignored")
+	}
+}
+
+// With several seeds the packer adopts the one with the best pre-polish
+// makespan; seeding with (worse, better) and (better, worse) pairs must
+// both land on the better seed's result.
+func TestWarmStartBestOfSeveralSeeds(t *testing.T) {
+	jobs := digitalJobs(t, 64)
+	near, err := Optimize(jobs, 56) // narrower, close: adopts verbatim
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Optimize(jobs, 8) // narrower, far: much worse makespan
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Makespan <= near.Makespan {
+		t.Fatalf("test premise broken: 8-wire makespan %d not worse than 56-wire %d", far.Makespan, near.Makespan)
+	}
+	ref, err := Optimize(jobs, 64, WithWarmStart(near))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seeds := range [][]*Schedule{{near, far}, {far, near}} {
+		got, err := Optimize(jobs, 64, WithWarmStart(seeds[0]), WithWarmStart(seeds[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CSV() != ref.CSV() {
+			t.Errorf("seed pair did not adopt the better (56-wire) seed")
+		}
+	}
+	// A nil seed among usable ones is skipped, not adopted.
+	got, err := Optimize(jobs, 64, WithWarmStart(nil), WithWarmStart(near))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CSV() != ref.CSV() {
+		t.Error("nil seed perturbed multi-seed adoption")
 	}
 }
 

@@ -20,6 +20,14 @@
 //   - WrapperAccuracy, the behavioural wrapper-in-the-loop measurement
 //     experiment of Section 5 (Figure 5).
 //
+// Long-lived callers — and the HTTP serving layer (internal/service,
+// cmd/msoc-serve) — use an Engine: a handle that caches wrapper
+// staircases and TAM schedules per design (keyed by content hash,
+// evicted LRU) and threads context cancellation through the planning
+// hot loops. The package-level planning functions are thin wrappers
+// over a shared DefaultEngine, so repeated calls on the same design
+// reuse each other's work while returning bit-identical results.
+//
 // Deeper control — wrapper design for digital cores, analog wrapper area
 // models, partition policies, the packer itself — lives in the internal
 // packages and is re-exported here through type aliases where users need
@@ -27,6 +35,7 @@
 package mixsoc
 
 import (
+	"context"
 	"io"
 
 	"mixsoc/internal/analog"
@@ -73,6 +82,16 @@ type (
 	// Schedule is a packed TAM test schedule.
 	Schedule = tam.Schedule
 
+	// Engine is a long-lived planning handle with per-design caches,
+	// LRU eviction, and context cancellation; see NewEngine.
+	Engine = core.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = core.EngineOptions
+	// EngineMetrics aggregates an Engine's cache counters.
+	EngineMetrics = core.EngineMetrics
+	// DesignInfo describes one live cache session of an Engine.
+	DesignInfo = core.DesignInfo
+
 	// WrapperConfig sizes a behavioural analog test wrapper.
 	WrapperConfig = wrapsim.Config
 	// WrapperExperiment is a configurable wrapper-in-the-loop cut-off
@@ -101,6 +120,39 @@ const (
 
 // EqualWeights is the balanced cost setting wT = wA = 0.5.
 var EqualWeights = core.EqualWeights
+
+// NewEngine returns a long-lived planning engine: it keeps a wrapper
+// staircase cache and per-width TAM schedule caches for every design
+// it has seen (keyed by DesignHash, evicted LRU) and threads context
+// cancellation through the planning hot loops, so a caller can abort a
+// sweep mid-flight with the caches left consistent. Every result is
+// bit-identical to the corresponding package-level function.
+func NewEngine(opts EngineOptions) *Engine { return core.NewEngine(opts) }
+
+// defaultEngine backs the package-level planning functions, so
+// repeated one-shot calls on the same design share caches the way a
+// long-lived server does.
+var defaultEngine = core.NewEngine(core.EngineOptions{})
+
+// DefaultEngine returns the process-wide engine behind Plan,
+// PlanExhaustive, ScheduleFor, Sweep and SweepWith — the handle to use
+// for context-aware calls (Engine.Plan, Engine.Sweep, ...) that should
+// share those functions' caches.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// MarshalDesign renders a design in its canonical JSON form — the wire
+// format msoc-serve accepts for inline designs. The codec round-trips
+// losslessly.
+func MarshalDesign(d *Design) ([]byte, error) { return core.MarshalDesign(d) }
+
+// UnmarshalDesign parses and validates a design from its canonical
+// JSON form.
+func UnmarshalDesign(data []byte) (*Design, error) { return core.UnmarshalDesign(data) }
+
+// DesignHash returns the design's content hash (hex SHA-256 over its
+// digital modules and analog cores, ignoring the display name) — the
+// key an Engine caches the design under.
+func DesignHash(d *Design) (string, error) { return core.DesignHash(d) }
 
 // P93791M returns the paper's experimental SOC: the embedded p93791
 // digital benchmark augmented with the five analog cores of Table 2.
@@ -145,7 +197,7 @@ type SweepOptions = core.SweepOptions
 // Sweep solves the planning problem across several TAM widths and
 // weight settings and returns every solved point; see BestSweepPoint.
 func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool) ([]core.SweepPoint, error) {
-	return core.Sweep(d, widths, weights, exhaustive, nil)
+	return SweepWith(d, widths, weights, SweepOptions{Exhaustive: exhaustive})
 }
 
 // SweepWith is Sweep with explicit options. SweepOptions.WarmStart
@@ -159,8 +211,13 @@ func Sweep(d *Design, widths []int, weights []Weights, exhaustive bool) ([]core.
 // a full sweep (combined with WarmStart, the warm chain skips the
 // unselected widths, so seeds — and hence makespans — can differ from
 // a full warm sweep's).
+//
+// The sweep runs on DefaultEngine, so cold grid points planned here (or
+// by Plan) are packed once per process; warm-started sweeps never touch
+// the shared cold caches. For cancellation, use Engine.Sweep with a
+// context.
 func SweepWith(d *Design, widths []int, weights []Weights, opt SweepOptions) ([]core.SweepPoint, error) {
-	return core.SweepWith(d, widths, weights, opt)
+	return defaultEngine.Sweep(context.Background(), d, widths, weights, opt)
 }
 
 // BestSweepPoint picks the cheapest point of a sweep, preferring
@@ -171,15 +228,19 @@ func BestSweepPoint(points []core.SweepPoint) (core.SweepPoint, error) {
 
 // Plan runs the paper's Cost_Optimizer heuristic (Figure 3) on the
 // design at TAM width w with the given cost weights and the paper's
-// default cost model and candidate policy.
+// default cost model and candidate policy. It is a thin wrapper over
+// DefaultEngine, so repeated plans of the same design reuse its cached
+// wrapper staircases and TAM schedules; the Result — including NEval —
+// is bit-identical to a cache-less run.
 func Plan(d *Design, w int, weights Weights) (*Result, error) {
-	return core.NewPlanner(d, w, weights).CostOptimizer()
+	return defaultEngine.Plan(context.Background(), d, w, weights)
 }
 
 // PlanExhaustive evaluates every candidate sharing configuration, the
-// paper's optimal-but-expensive baseline.
+// paper's optimal-but-expensive baseline; like Plan it runs on
+// DefaultEngine.
 func PlanExhaustive(d *Design, w int, weights Weights) (*Result, error) {
-	return core.NewPlanner(d, w, weights).Exhaustive()
+	return defaultEngine.PlanExhaustive(context.Background(), d, w, weights)
 }
 
 // NewPlanner exposes the full planner for callers that need to change
@@ -190,9 +251,10 @@ func NewPlanner(d *Design, w int, weights Weights) *Planner {
 
 // ScheduleFor packs a TAM schedule for one specific sharing
 // configuration p at width w (use d.AllShare(), d.NoShare(), or any
-// enumeration result).
+// enumeration result). It runs on DefaultEngine; the returned schedule
+// may be cached and shared, so treat it as read-only.
 func ScheduleFor(d *Design, p Partition, w int) (*Schedule, error) {
-	return core.NewEvaluator(d, w).Schedule(p)
+	return defaultEngine.Schedule(context.Background(), d, p, w)
 }
 
 // WrapperAccuracy runs the Section 5 wrapper-in-the-loop experiment
