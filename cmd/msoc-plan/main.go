@@ -5,6 +5,7 @@
 // Usage:
 //
 //	msoc-plan [-soc file.soc] [-width 32] [-wt 0.5] [-exhaustive] [-gantt] [-json]
+//	          [-sweep [-widths 32,40,48,56,64] [-wts 0.5,0.25,0.75]]
 //
 // Without -soc the embedded p93791m benchmark is used (the paper's
 // experimental SOC). With -soc, the digital SOC is read from the file
@@ -13,7 +14,11 @@
 // With -json the plan is printed as the serving layer's PlanResponse
 // JSON — byte-identical to what a msoc-serve POST /v1/plan returns for
 // the same (width, wt, exhaustive) request, which is how CI smoke-tests
-// the service against the CLI.
+// the service against the CLI. Combined with -sweep, the output is the
+// SweepResponse JSON for the -widths × -wts grid — byte-identical to a
+// POST /v1/sweep of the same grid, whether the answering server plans
+// in-process or coordinates the sweep across distributed workers (the
+// distributed-smoke CI job diffs exactly that).
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"mixsoc"
 	"mixsoc/internal/core"
@@ -39,8 +46,10 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "use exhaustive evaluation instead of Cost_Optimizer")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	csvPath := flag.String("csv", "", "write the schedule as CSV to this file")
-	sweep := flag.Bool("sweep", false, "sweep TAM widths 32..64 and the three paper weight settings instead of a single plan")
-	jsonOut := flag.Bool("json", false, "print the plan as the serving layer's PlanResponse JSON (byte-identical to msoc-serve)")
+	sweep := flag.Bool("sweep", false, "sweep the -widths × -wts grid instead of a single plan")
+	widthsFlag := flag.String("widths", "32,40,48,56,64", "comma-separated TAM widths for -sweep")
+	wtsFlag := flag.String("wts", "0.5,0.25,0.75", "comma-separated test-time weights wT for -sweep")
+	jsonOut := flag.Bool("json", false, "print the plan (or, with -sweep, the sweep) as the serving layer's JSON (byte-identical to msoc-serve)")
 	flag.Parse()
 
 	design := mixsoc.P93791M()
@@ -58,7 +67,19 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(design, *exhaustive)
+		widths, err := parseInts(*widthsFlag)
+		if err != nil {
+			log.Fatalf("-widths: %v", err)
+		}
+		wts, err := parseFloats(*wtsFlag)
+		if err != nil {
+			log.Fatalf("-wts: %v", err)
+		}
+		if *jsonOut {
+			printSweepJSON(design, *socPath != "", widths, wts, *exhaustive)
+			return
+		}
+		runSweep(design, widths, wts, *exhaustive)
 		return
 	}
 
@@ -114,14 +135,38 @@ func main() {
 	}
 }
 
-// runSweep prints the cost surface over the paper's width range and
+// parseInts parses a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runSweep prints the cost surface over the requested width range and
 // weight settings and the overall cheapest point.
-func runSweep(design *mixsoc.Design, exhaustive bool) {
-	widths := []int{32, 40, 48, 56, 64}
-	weights := []mixsoc.Weights{
-		{Time: 0.5, Area: 0.5},
-		{Time: 0.25, Area: 0.75},
-		{Time: 0.75, Area: 0.25},
+func runSweep(design *mixsoc.Design, widths []int, wts []float64, exhaustive bool) {
+	weights := make([]mixsoc.Weights, len(wts))
+	for i, wt := range wts {
+		weights[i] = mixsoc.Weights{Time: wt, Area: 1 - wt}
 	}
 	points, err := mixsoc.Sweep(design, widths, weights, exhaustive)
 	if err != nil {
@@ -174,6 +219,30 @@ func printJSON(design *mixsoc.Design, inline bool, width int, wt float64, exhaus
 	}
 	srv := service.New(service.Options{RequestTimeout: math.MaxInt64})
 	resp, err := srv.Plan(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := service.WriteJSON(os.Stdout, resp); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printSweepJSON is printJSON for -sweep: the serving layer's own sweep
+// path and encoder, so the bytes on stdout are exactly what a
+// msoc-serve POST /v1/sweep returns for the same grid — the in-process
+// reference the distributed-smoke CI job diffs a coordinator's merged
+// response against.
+func printSweepJSON(design *mixsoc.Design, inline bool, widths []int, wts []float64, exhaustive bool) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive}
+	if inline {
+		data, err := core.MarshalDesign(design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Design = data
+	}
+	srv := service.New(service.Options{RequestTimeout: math.MaxInt64})
+	resp, err := srv.Sweep(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

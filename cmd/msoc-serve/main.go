@@ -7,17 +7,29 @@
 //
 //	msoc-serve [-addr :8093] [-workers N] [-max-concurrent 4]
 //	           [-timeout 120s] [-max-designs 8]
+//	           [-worker-urls http://a:8093,http://b:8093 | -worker-file workers.txt]
+//	           [-shard-timeout 60s] [-shard-retries N]
 //
 // Endpoints:
 //
 //	POST /v1/plan     {"width":32,"wt":0.5[,"exhaustive":true][,"design":{...}]}
 //	POST /v1/sweep    {"widths":[32,48,64],"wts":[0.5,0.25][,"warm_start":true]}
+//	POST /v1/shard    one round-robin shard of a sweep (what coordinators send)
 //	GET  /v1/designs  live cache sessions + cache-hit metrics
+//	GET  /metrics     Prometheus text-format scrape surface
 //	GET  /healthz     liveness probe
 //
+// With -worker-urls (or -worker-file) the server runs as a
+// distributed-sweep *coordinator*: POST /v1/sweep is partitioned
+// round-robin into one /v1/shard request per worker, fanned out under
+// per-shard deadlines with retry-by-reassignment, and merged into a
+// response byte-identical to an in-process sweep. Workers are plain
+// msoc-serve processes; nothing distinguishes them except receiving
+// /v1/shard traffic.
+//
 // Responses are bit-identical to direct library calls; msoc-plan -json
-// prints the same bytes for the same point, which CI verifies against a
-// live server.
+// prints the same bytes for the same request, which CI verifies against
+// a live server — and against a coordinator with two workers.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,7 +57,16 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 4, "planning requests in flight before 503s")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request planning deadline (also caps timeout_ms)")
 	maxDesigns := flag.Int("max-designs", 8, "design cache sessions kept before LRU eviction")
+	workerURLs := flag.String("worker-urls", "", "comma-separated worker base URLs; non-empty runs this server as a distributed-sweep coordinator")
+	workerFile := flag.String("worker-file", "", "file of worker base URLs, one per line (# comments); alternative to -worker-urls")
+	shardTimeout := flag.Duration("shard-timeout", 60*time.Second, "coordinator per-shard-attempt deadline before the shard is reassigned")
+	shardRetries := flag.Int("shard-retries", -1, "extra workers a failed shard is reassigned to; -1 = every other worker once")
 	flag.Parse()
+
+	urls, err := workerList(*workerURLs, *workerFile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	eng := core.NewEngine(core.EngineOptions{
 		MaxDesigns: *maxDesigns,
@@ -55,6 +77,9 @@ func main() {
 		Workers:        *workers,
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *timeout,
+		WorkerURLs:     urls,
+		ShardTimeout:   *shardTimeout,
+		ShardAttempts:  *shardRetries + 1,
 	})
 
 	httpSrv := &http.Server{
@@ -79,12 +104,42 @@ func main() {
 		}
 	}()
 
+	if len(urls) > 0 {
+		log.Printf("coordinating sweeps across %d workers: %s (shard timeout %s)",
+			len(urls), strings.Join(urls, ", "), *shardTimeout)
+	}
 	log.Printf("serving on %s (workers %d, max-concurrent %d, timeout %s)",
 		*addr, effectiveWorkers(*workers), *maxConcurrent, *timeout)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// workerList resolves the coordinator's worker set from the -worker-urls
+// list and/or the -worker-file static config (one base URL per line,
+// blank lines and # comments ignored).
+func workerList(urls, file string) ([]string, error) {
+	var out []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, line)
+		}
+	}
+	return out, nil
 }
 
 // effectiveWorkers mirrors the service's worker default for the banner.

@@ -49,8 +49,13 @@ type Engine struct {
 	mu       sync.Mutex
 	sessions map[string]*engineSession
 	seq      uint64 // LRU clock, bumped per session access
+	// retired accumulates the schedule-cache counters of evicted
+	// sessions (under mu), so the engine-lifetime totals in Metrics
+	// stay monotonic — the property a Prometheus scrape counter needs —
+	// even as the LRU bound drops live caches.
+	retired CacheStats
 
-	designHits, designMisses, evictions atomic.Uint64
+	designHits, designMisses, evictions, plans atomic.Uint64
 }
 
 // engineSession is the cache state of one canonicalized design: the
@@ -66,8 +71,9 @@ type engineSession struct {
 	mu       sync.Mutex
 	stairs   *wrapper.StaircaseCache
 	byWidth  map[int]*widthCache
-	widthSeq uint64 // width-LRU clock, under mu
-	lastUse  uint64 // under Engine.mu
+	retired  CacheStats // counters of width caches evicted by the LRU, under mu
+	widthSeq uint64     // width-LRU clock, under mu
+	lastUse  uint64     // under Engine.mu
 }
 
 // widthCache is one width's schedule cache plus its LRU stamp.
@@ -153,10 +159,31 @@ func (e *Engine) session(d *Design) (*engineSession, error) {
 				oldest = h
 			}
 		}
+		// Fold the evicted session's counters into the engine-lifetime
+		// totals before it goes. Planners still holding its caches may
+		// count a few more hits afterwards; those are lost, which keeps
+		// the totals monotonic (never inflated, never rewound).
+		st := e.sessions[oldest].scheduleStats()
+		e.retired.Hits += st.Hits
+		e.retired.Misses += st.Misses
 		delete(e.sessions, oldest)
 		e.evictions.Add(1)
 	}
 	return s, nil
+}
+
+// scheduleStats sums the session's schedule-cache counters: the live
+// width caches plus the widths its own LRU already retired.
+func (s *engineSession) scheduleStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.retired
+	for _, c := range s.byWidth {
+		cs := c.cache.Stats()
+		st.Hits += cs.Hits
+		st.Misses += cs.Misses
+	}
+	return st
 }
 
 // sweepStairs implements sweepCaches: the session's staircase cache,
@@ -194,6 +221,9 @@ func (s *engineSession) sweepCache(w int) *ScheduleCache {
 				oldest, oldestUse = cw, cand.lastUse
 			}
 		}
+		st := s.byWidth[oldest].cache.Stats()
+		s.retired.Hits += st.Hits
+		s.retired.Misses += st.Misses
 		delete(s.byWidth, oldest)
 	}
 	return c.cache
@@ -221,6 +251,7 @@ func (e *Engine) Plan(ctx context.Context, d *Design, width int, w Weights) (*Re
 		return nil, err
 	}
 	s.plans.Add(1)
+	e.plans.Add(1)
 	return s.planner(width, w, e.workers()).CostOptimizerContext(ctx)
 }
 
@@ -231,6 +262,7 @@ func (e *Engine) PlanExhaustive(ctx context.Context, d *Design, width int, w Wei
 		return nil, err
 	}
 	s.plans.Add(1)
+	e.plans.Add(1)
 	return s.planner(width, w, e.workers()).ExhaustiveContext(ctx)
 }
 
@@ -244,6 +276,7 @@ func (e *Engine) Schedule(ctx context.Context, d *Design, p partition.Partition,
 		return nil, err
 	}
 	s.plans.Add(1)
+	e.plans.Add(1)
 	ev := NewSharedEvaluator(s.design, width, s.sweepCache(width))
 	ev.Staircases = s.sweepStairs(width)
 	return ev.ScheduleContext(ctx, p)
@@ -261,6 +294,7 @@ func (e *Engine) Sweep(ctx context.Context, d *Design, widths []int, weights []W
 		return nil, err
 	}
 	s.plans.Add(1)
+	e.plans.Add(1)
 	if opt.Workers == 0 {
 		opt.Workers = e.workers()
 	}
@@ -321,20 +355,31 @@ type EngineMetrics struct {
 	// Schedule aggregates the hit/miss counters of every live schedule
 	// cache: a miss ran the TAM optimizer, a hit reused a packing.
 	Schedule CacheStats `json:"schedule"`
+	// ScheduleTotal is the engine-lifetime schedule counter: live caches
+	// plus every cache the LRU bounds evicted. Unlike Schedule it never
+	// decreases, which is what a Prometheus counter scrape needs.
+	ScheduleTotal CacheStats `json:"schedule_total"`
 	// Schedules is the total number of cached TAM schedules.
 	Schedules int `json:"schedules"`
+	// Plans is the engine-lifetime count of planning calls (Plan,
+	// PlanExhaustive, Schedule, Sweep), across live and evicted sessions.
+	Plans uint64 `json:"plans"`
 }
 
 // Metrics returns the engine's cache counters. Schedule hit/miss
 // numbers cover live width caches of live sessions only (evicted
-// sessions and evicted widths take their counters with them).
+// sessions and evicted widths take their counters with them);
+// ScheduleTotal additionally folds in every evicted cache, so it is
+// monotonic across the engine's lifetime.
 func (e *Engine) Metrics() EngineMetrics {
 	m := EngineMetrics{
 		DesignHits:   e.designHits.Load(),
 		DesignMisses: e.designMisses.Load(),
 		Evictions:    e.evictions.Load(),
+		Plans:        e.plans.Load(),
 	}
 	e.mu.Lock()
+	m.ScheduleTotal = e.retired
 	sessions := make([]*engineSession, 0, len(e.sessions))
 	for _, s := range e.sessions {
 		sessions = append(sessions, s)
@@ -343,10 +388,14 @@ func (e *Engine) Metrics() EngineMetrics {
 	m.Designs = len(sessions)
 	for _, s := range sessions {
 		s.mu.Lock()
+		m.ScheduleTotal.Hits += s.retired.Hits
+		m.ScheduleTotal.Misses += s.retired.Misses
 		for _, c := range s.byWidth {
 			st := c.cache.Stats()
 			m.Schedule.Hits += st.Hits
 			m.Schedule.Misses += st.Misses
+			m.ScheduleTotal.Hits += st.Hits
+			m.ScheduleTotal.Misses += st.Misses
 			m.Schedules += c.cache.Len()
 		}
 		s.mu.Unlock()

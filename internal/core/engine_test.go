@@ -361,3 +361,60 @@ func TestEngineLRUEviction(t *testing.T) {
 		t.Errorf("Designs() = %+v, want the benchmark session only", infos)
 	}
 }
+
+// The lifetime counters Metrics exposes for scraping must be monotonic:
+// evicting a session may shrink the live Schedule stats, but Plans and
+// ScheduleTotal must only ever grow (a Prometheus counter that rewinds
+// breaks every rate() over it).
+func TestEngineMetricsMonotonicAcrossEviction(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(EngineOptions{MaxDesigns: 1, Workers: 2})
+
+	var prev EngineMetrics
+	check := func(step string) {
+		m := eng.Metrics()
+		if m.Plans < prev.Plans {
+			t.Errorf("%s: Plans rewound %d -> %d", step, prev.Plans, m.Plans)
+		}
+		if m.ScheduleTotal.Hits < prev.ScheduleTotal.Hits || m.ScheduleTotal.Misses < prev.ScheduleTotal.Misses {
+			t.Errorf("%s: ScheduleTotal rewound %+v -> %+v", step, prev.ScheduleTotal, m.ScheduleTotal)
+		}
+		prev = m
+	}
+
+	// Alternate two designs through a 1-session engine: every switch
+	// evicts the other design's caches, which previously took their
+	// hit/miss counters with them.
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Plan(ctx, warmTestDesign(), 32, EqualWeights); err != nil {
+			t.Fatal(err)
+		}
+		check("benchmark plan")
+		if _, err := eng.Plan(ctx, variantDesign(), 32, EqualWeights); err != nil {
+			t.Fatal(err)
+		}
+		check("variant plan")
+	}
+	m := eng.Metrics()
+	if m.Plans != 6 {
+		t.Errorf("Plans = %d, want 6", m.Plans)
+	}
+	if m.Evictions == 0 {
+		t.Fatal("test never evicted; ScheduleTotal monotonicity unexercised")
+	}
+	if total, live := m.ScheduleTotal.Misses, m.Schedule.Misses; total <= live {
+		t.Errorf("ScheduleTotal.Misses = %d not above live Schedule.Misses = %d despite evictions", total, live)
+	}
+
+	// Width-LRU eviction inside one session must fold counters too.
+	eng2 := NewEngine(EngineOptions{MaxWidthCaches: 1, Workers: 2})
+	for _, w := range []int{24, 32, 24} {
+		if _, err := eng2.Plan(ctx, warmTestDesign(), w, EqualWeights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2 := eng2.Metrics()
+	if m2.ScheduleTotal.Misses <= m2.Schedule.Misses {
+		t.Errorf("width eviction dropped counters: total %+v, live %+v", m2.ScheduleTotal, m2.Schedule)
+	}
+}

@@ -149,16 +149,35 @@ func (g Grid) Equal(o Grid) bool {
 		slices.Equal(g.CurveWidths, o.CurveWidths)
 }
 
+// RoundRobin returns the item indices of shard `shard` in an `of`-way
+// round-robin split of n items: shard, shard+of, shard+2·of, …. It is
+// the one partition rule every distributed runner in this repository
+// shares — Grid.Shard applies it to the experiment grid's canonical
+// cell order, and the serving layer's sweep coordinator applies it to a
+// request's weights-major (width, weights) cells — so a shard index
+// names the same slice of work regardless of transport.
+func RoundRobin(n, shard, of int) ([]int, error) {
+	if of < 1 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("experiments: shard %d/%d out of range (want 0 <= shard < of)", shard, of)
+	}
+	idx := make([]int, 0, (n+of-1)/of)
+	for i := shard; i < n; i += of {
+		idx = append(idx, i)
+	}
+	return idx, nil
+}
+
 // Shard returns the cells of shard index `shard` in an `of`-way split:
 // a round-robin over Cells(), so the shards are near-equal in size,
 // deterministic, and together cover every cell exactly once.
 func (g Grid) Shard(shard, of int) ([]Cell, error) {
-	if of < 1 || shard < 0 || shard >= of {
-		return nil, fmt.Errorf("experiments: shard %d/%d out of range (want 0 <= shard < of)", shard, of)
-	}
 	all := g.Cells()
-	cells := make([]Cell, 0, (len(all)+of-1)/of)
-	for i := shard; i < len(all); i += of {
+	idx, err := RoundRobin(len(all), shard, of)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(idx))
+	for _, i := range idx {
 		cells = append(cells, all[i])
 	}
 	return cells, nil

@@ -1,0 +1,250 @@
+package service
+
+// The coordinator half of a distributed sweep. A sweep's (widths ×
+// weights) cells are mutually independent — the same argument that
+// makes the paper's Table 4 grid shardable across machines — so the
+// coordinator partitions them round-robin (experiments.RoundRobin, the
+// grid runner's rule), posts one /v1/shard request per shard to the
+// configured workers, and reassembles the partial point lists into the
+// dense weights-major order an in-process sweep returns. The merged
+// response is byte-identical to the in-process one: each worker solves
+// its cells through core.SweepOptions.Select (subset == full-sweep
+// bits), float64s survive the JSON hop exactly, and the merge only
+// permutes — never recomputes — the points.
+//
+// Failure handling: every shard attempt runs under its own deadline
+// (Options.ShardTimeout, additionally capped by the request deadline);
+// a worker that errors, answers non-2xx, violates the merge contract,
+// or hangs past the deadline is abandoned and the shard reassigned to
+// the next worker round-robin, up to Options.ShardAttempts distinct
+// attempts. A shard that exhausts its attempts fails the sweep with a
+// 502 carrying every attempt's WorkerFailure.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mixsoc/internal/core"
+	"mixsoc/internal/experiments"
+)
+
+// maxWorkerErrorBytes bounds how much of a worker's error body the
+// coordinator reads back into a WorkerFailure.
+const maxWorkerErrorBytes = 4 << 10
+
+// coordinator fans sweep shards out to worker servers and merges the
+// partials.
+type coordinator struct {
+	workers      []string // normalized base URLs, fixed after New
+	client       *http.Client
+	shardTimeout time.Duration
+	attempts     int // max distinct attempts per shard
+	metrics      *metricsRegistry
+}
+
+// newCoordinator normalizes the option defaults; only called when
+// Options.WorkerURLs is non-empty. It returns nil — no coordinator,
+// the server stays standalone — when normalization leaves no usable
+// worker URL, so a misconfigured list can never produce a coordinator
+// that "merges" zero shards into a grid of zero values.
+func newCoordinator(opts Options, m *metricsRegistry) *coordinator {
+	workers := make([]string, 0, len(opts.WorkerURLs))
+	for _, u := range opts.WorkerURLs {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			workers = append(workers, u)
+		}
+	}
+	if len(workers) == 0 {
+		return nil
+	}
+	shardTimeout := opts.ShardTimeout
+	if shardTimeout <= 0 {
+		shardTimeout = 60 * time.Second
+	}
+	attempts := opts.ShardAttempts
+	if attempts < 1 || attempts > len(workers) {
+		attempts = len(workers)
+	}
+	return &coordinator{
+		workers:      workers,
+		client:       &http.Client{}, // per-attempt contexts carry the deadlines
+		shardTimeout: shardTimeout,
+		attempts:     attempts,
+		metrics:      m,
+	}
+}
+
+// distributedSweepError reports a sweep the coordinator could not
+// complete, carrying every failed shard attempt; the handler maps it to
+// 502 with the failures in the response body.
+type distributedSweepError struct {
+	Failures []WorkerFailure
+}
+
+func (e *distributedSweepError) Error() string {
+	shards := map[int]bool{}
+	for _, f := range e.Failures {
+		shards[f.Shard] = true
+	}
+	return fmt.Sprintf("service: distributed sweep failed: %d shard(s) unrecoverable after %d failed attempt(s)",
+		len(shards), len(e.Failures))
+}
+
+// sweep answers a cold /v1/sweep by fanning shards out to the workers
+// and merging the partials; the result is byte-identical to the
+// in-process sweep for the same spec.
+func (c *coordinator) sweep(ctx context.Context, sp *sweepSpec, req SweepRequest) (*SweepResponse, error) {
+	cells := sp.cells()
+	of := min(len(c.workers), cells)
+
+	type shardOutcome struct {
+		resp     *ShardResponse
+		failures []WorkerFailure
+		err      error // non-nil only for request-level aborts (ctx)
+	}
+	outcomes := make([]shardOutcome, of)
+	var wg sync.WaitGroup
+	for shard := 0; shard < of; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			resp, failures, err := c.runShard(ctx, sp, req, shard, of)
+			outcomes[shard] = shardOutcome{resp: resp, failures: failures, err: err}
+		}(shard)
+	}
+	wg.Wait()
+
+	var failures []WorkerFailure
+	for _, o := range outcomes {
+		if o.err != nil {
+			// The request itself died (deadline or client abort); report
+			// that, not a worker failure.
+			return nil, o.err
+		}
+		failures = append(failures, o.failures...)
+	}
+	for _, o := range outcomes {
+		if o.resp == nil {
+			return nil, &distributedSweepError{Failures: failures}
+		}
+	}
+
+	// Merge: shard s owns dense cells s, s+of, s+2·of, … in order, so
+	// the j-th point of shard s lands at cell s + j·of. Placement is
+	// all that happens here — post already verified every partial
+	// against the merge contract (hash, geometry, and each point's grid
+	// coordinate), so a contract-violating worker was reassigned like
+	// any other failure, not discovered after the retry loop ended.
+	points := make([]core.SweepPoint, cells)
+	for shard, o := range outcomes {
+		for j, pt := range o.resp.Points {
+			points[shard+j*of] = pt
+		}
+	}
+	return &SweepResponse{DesignHash: sp.hash, Points: points}, nil
+}
+
+// runShard computes one shard on the workers: the home worker is
+// workers[shard % len(workers)], and each failure reassigns the shard
+// to the next worker round-robin, up to c.attempts distinct workers.
+// The returned error is non-nil only when the *request* context died;
+// per-worker problems come back as WorkerFailures with a nil response.
+func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequest, shard, of int) (*ShardResponse, []WorkerFailure, error) {
+	want, err := experiments.RoundRobin(sp.cells(), shard, of)
+	if err != nil {
+		return nil, nil, err
+	}
+	shardReq := ShardRequest{
+		Design:     req.Design,
+		Benchmark:  req.Benchmark,
+		Widths:     sp.widths,
+		WTs:        sp.wts,
+		Exhaustive: req.Exhaustive,
+		Shard:      shard,
+		Of:         of,
+	}
+	body, err := json.Marshal(shardReq)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var failures []WorkerFailure
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		worker := c.workers[(shard+attempt)%len(c.workers)]
+		resp, failure := c.post(ctx, worker, shard, body, sp, want)
+		if failure == nil {
+			return resp, failures, nil
+		}
+		failures = append(failures, *failure)
+		if ctx.Err() != nil {
+			// The request deadline (or the client) killed the sweep;
+			// reassignment cannot help.
+			return nil, failures, ctx.Err()
+		}
+	}
+	return nil, failures, nil
+}
+
+// post runs one shard attempt against one worker under the per-shard
+// deadline and validates the partial against the whole merge contract
+// — matching design hash, shard geometry, point count, and every
+// point's grid coordinate (want holds the shard's dense cell indices)
+// — so a contract violation is an ordinary worker failure the caller
+// reassigns, with the drifted worker named in the detail.
+func (c *coordinator) post(ctx context.Context, worker string, shard int, body []byte, sp *sweepSpec, want []int) (*ShardResponse, *WorkerFailure) {
+	start := time.Now()
+	fail := func(result, format string, args ...any) *WorkerFailure {
+		c.metrics.observeShard(worker, result, time.Since(start))
+		return &WorkerFailure{Worker: worker, Shard: shard, Error: fmt.Sprintf(format, args...)}
+	}
+
+	attemptCtx, cancel := context.WithTimeout(ctx, c.shardTimeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, worker+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, fail(shardResultError, "building request: %v", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.client.Do(httpReq)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			return nil, fail(shardResultTimeout, "shard deadline (%s) exceeded", c.shardTimeout)
+		}
+		return nil, fail(shardResultError, "post: %v", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, maxWorkerErrorBytes))
+		return nil, fail(shardResultError, "status %d: %s", httpResp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var resp ShardResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fail(shardResultError, "decoding partial: %v", err)
+	}
+	switch {
+	case resp.DesignHash != sp.hash:
+		return nil, fail(shardResultError, "merge conflict: worker hashed the design %s, coordinator %s", resp.DesignHash, sp.hash)
+	case resp.Shard != shard || len(resp.Points) != len(want):
+		return nil, fail(shardResultError, "merge conflict: got shard %d/%d with %d points, want shard %d with %d",
+			resp.Shard, resp.Of, len(resp.Points), shard, len(want))
+	}
+	for j, pt := range resp.Points {
+		i := want[j]
+		wantW := sp.widths[i%len(sp.widths)]
+		wantWt := sp.weights[i/len(sp.widths)]
+		if pt.Width != wantW || pt.Weights != wantWt {
+			return nil, fail(shardResultError, "merge conflict: point %d is (W=%d, wT=%v), want (W=%d, wT=%v)",
+				j, pt.Width, pt.Weights.Time, wantW, wantWt.Time)
+		}
+	}
+	c.metrics.observeShard(worker, shardResultOK, time.Since(start))
+	return &resp, nil
+}

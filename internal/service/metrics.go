@@ -1,0 +1,274 @@
+package service
+
+// The /metrics scrape surface: a dependency-free Prometheus
+// text-format (version 0.0.4) renderer over a small hand-rolled
+// registry. The metric set is deliberately concrete — engine cache
+// counters, worker-pool saturation, per-endpoint request counts and
+// latencies, per-worker shard outcomes — rather than a generic metrics
+// framework; everything monotonic is a counter (the engine-lifetime
+// totals core.EngineMetrics.ScheduleTotal exists for), everything that
+// can shrink is a gauge. Series are rendered in sorted order so
+// repeated scrapes of an idle server are byte-stable.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mixsoc/internal/core"
+)
+
+// The per-worker shard outcome labels of msoc_worker_shards_total.
+const (
+	shardResultOK      = "ok"
+	shardResultError   = "error"
+	shardResultTimeout = "timeout"
+)
+
+// durStat is a Prometheus summary without quantiles: total seconds and
+// observation count.
+type durStat struct {
+	sum   float64
+	count uint64
+}
+
+// epCode is one (endpoint, status code) request-counter series.
+type epCode struct {
+	endpoint string
+	code     int
+}
+
+// workerResult is one (worker, outcome) shard-counter series.
+type workerResult struct {
+	worker string
+	result string
+}
+
+// metricsRegistry accumulates the service-level counters /metrics
+// renders; engine counters are scraped live from the Engine instead.
+type metricsRegistry struct {
+	capacity int // worker-pool slots, a constant gauge
+
+	mu        sync.Mutex
+	inFlight  int
+	httpCount map[epCode]uint64
+	httpDur   map[string]*durStat
+	shards    map[workerResult]uint64
+	shardDur  map[string]*durStat
+}
+
+func newMetricsRegistry(capacity int) *metricsRegistry {
+	return &metricsRegistry{
+		capacity:  capacity,
+		httpCount: map[epCode]uint64{},
+		httpDur:   map[string]*durStat{},
+		shards:    map[workerResult]uint64{},
+		shardDur:  map[string]*durStat{},
+	}
+}
+
+// observeHTTP records one finished request against its endpoint and
+// status code.
+func (m *metricsRegistry) observeHTTP(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.httpCount[epCode{endpoint, code}]++
+	s := m.httpDur[endpoint]
+	if s == nil {
+		s = &durStat{}
+		m.httpDur[endpoint] = s
+	}
+	s.sum += d.Seconds()
+	s.count++
+}
+
+// observeShard records one coordinator shard attempt against its worker
+// and outcome.
+func (m *metricsRegistry) observeShard(worker, result string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shards[workerResult{worker, result}]++
+	s := m.shardDur[worker]
+	if s == nil {
+		s = &durStat{}
+		m.shardDur[worker] = s
+	}
+	s.sum += d.Seconds()
+	s.count++
+}
+
+// addInFlight moves the in-flight request gauge.
+func (m *metricsRegistry) addInFlight(delta int) {
+	m.mu.Lock()
+	m.inFlight += delta
+	m.mu.Unlock()
+}
+
+// instrument wraps a handler with the request count, latency and
+// in-flight bookkeeping for one endpoint label.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: 200}
+		s.metrics.addInFlight(1)
+		defer func() {
+			s.metrics.addInFlight(-1)
+			s.metrics.observeHTTP(endpoint, rec.code, time.Since(start))
+		}()
+		h(rec, r)
+	})
+}
+
+// statusRecorder captures the status code a handler wrote (200 when it
+// never called WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the code and forwards it.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// render writes the whole scrape page. workers is the coordinator's
+// worker list (empty on a standalone server), listed so every
+// configured worker gets a shards-total series even before its first
+// attempt — scrapers see the topology, not just the traffic.
+func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, workers []string) {
+	p := &textfmt{w: w}
+
+	p.family("msoc_engine_designs", "Live design cache sessions in the planning engine.", "gauge")
+	p.value("msoc_engine_designs", nil, float64(em.Designs))
+	p.family("msoc_engine_schedules", "Cached TAM schedules across live sessions.", "gauge")
+	p.value("msoc_engine_schedules", nil, float64(em.Schedules))
+	p.family("msoc_engine_plans_total", "Planning calls served by the engine.", "counter")
+	p.value("msoc_engine_plans_total", nil, float64(em.Plans))
+	p.family("msoc_engine_design_sessions_total", "Design cache session lookups by outcome (hit reused a session, miss created one).", "counter")
+	p.value("msoc_engine_design_sessions_total", labels{"result", "hit"}, float64(em.DesignHits))
+	p.value("msoc_engine_design_sessions_total", labels{"result", "miss"}, float64(em.DesignMisses))
+	p.family("msoc_engine_design_evictions_total", "Design cache sessions dropped by the LRU bound.", "counter")
+	p.value("msoc_engine_design_evictions_total", nil, float64(em.Evictions))
+	p.family("msoc_engine_schedule_cache_total", "Engine-lifetime TAM schedule cache lookups by outcome (includes evicted caches; a miss ran the TAM optimizer).", "counter")
+	p.value("msoc_engine_schedule_cache_total", labels{"result", "hit"}, float64(em.ScheduleTotal.Hits))
+	p.value("msoc_engine_schedule_cache_total", labels{"result", "miss"}, float64(em.ScheduleTotal.Misses))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	p.family("msoc_pool_capacity", "Planning worker-pool slots (the -max-concurrent bound).", "gauge")
+	p.value("msoc_pool_capacity", nil, float64(m.capacity))
+	p.family("msoc_pool_in_flight", "HTTP requests currently being served.", "gauge")
+	p.value("msoc_pool_in_flight", nil, float64(m.inFlight))
+
+	p.family("msoc_http_requests_total", "HTTP requests served, by endpoint and status code.", "counter")
+	codes := make([]epCode, 0, len(m.httpCount))
+	for k := range m.httpCount {
+		codes = append(codes, k)
+	}
+	sort.Slice(codes, func(a, b int) bool {
+		if codes[a].endpoint != codes[b].endpoint {
+			return codes[a].endpoint < codes[b].endpoint
+		}
+		return codes[a].code < codes[b].code
+	})
+	for _, k := range codes {
+		p.value("msoc_http_requests_total",
+			labels{"endpoint", k.endpoint, "code", strconv.Itoa(k.code)}, float64(m.httpCount[k]))
+	}
+
+	p.family("msoc_http_request_duration_seconds", "Wall time per request, by endpoint.", "summary")
+	for _, ep := range sortedKeys(m.httpDur) {
+		s := m.httpDur[ep]
+		p.value("msoc_http_request_duration_seconds_sum", labels{"endpoint", ep}, s.sum)
+		p.value("msoc_http_request_duration_seconds_count", labels{"endpoint", ep}, float64(s.count))
+	}
+
+	if len(workers) == 0 && len(m.shards) == 0 {
+		return
+	}
+	p.family("msoc_worker_shards_total", "Coordinator shard attempts, by worker and outcome (ok, error, timeout).", "counter")
+	seen := map[workerResult]bool{}
+	series := make([]workerResult, 0, len(m.shards)+len(workers))
+	for k := range m.shards {
+		series = append(series, k)
+		seen[k] = true
+	}
+	for _, w := range workers {
+		if k := (workerResult{w, shardResultOK}); !seen[k] {
+			series = append(series, k)
+		}
+	}
+	sort.Slice(series, func(a, b int) bool {
+		if series[a].worker != series[b].worker {
+			return series[a].worker < series[b].worker
+		}
+		return series[a].result < series[b].result
+	})
+	for _, k := range series {
+		p.value("msoc_worker_shards_total",
+			labels{"result", k.result, "worker", k.worker}, float64(m.shards[k]))
+	}
+
+	p.family("msoc_worker_shard_duration_seconds", "Wall time per shard attempt, by worker.", "summary")
+	for _, worker := range sortedKeys(m.shardDur) {
+		s := m.shardDur[worker]
+		p.value("msoc_worker_shard_duration_seconds_sum", labels{"worker", worker}, s.sum)
+		p.value("msoc_worker_shard_duration_seconds_count", labels{"worker", worker}, float64(s.count))
+	}
+}
+
+// labels is a flat key, value, key, value, … list; flat because every
+// call site has literal pairs and a slice keeps them in declared order.
+type labels []string
+
+// textfmt emits the Prometheus text exposition format.
+type textfmt struct {
+	w io.Writer
+}
+
+// family writes the # HELP and # TYPE header of one metric family.
+func (p *textfmt) family(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// value writes one sample line.
+func (p *textfmt) value(name string, ls labels, v float64) {
+	if len(ls) == 0 {
+		fmt.Fprintf(p.w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(ls); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Go's %q escaping of backslash, quote and newline is exactly
+		// the text-format label escaping.
+		fmt.Fprintf(&b, "%s=%q", ls[i], ls[i+1])
+	}
+	fmt.Fprintf(p.w, "%s{%s} %s\n", name, b.String(), formatValue(v))
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest float form, integral counters without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in sorted order, for byte-stable
+// scrape pages.
+func sortedKeys[V any](m map[string]*V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

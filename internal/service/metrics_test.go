@@ -1,0 +1,211 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSeries is one parsed sample: the full series key (name plus its
+// label set exactly as rendered) and its value.
+type promSeries map[string]float64
+
+var (
+	promNameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRE = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"$`)
+)
+
+// parsePrometheus is a strict Prometheus text-format (0.0.4) parser:
+// every line must be a # HELP / # TYPE comment or a sample, every
+// sample's metric must belong to a declared # TYPE family (summaries
+// may append _sum/_count), names and labels must match the format's
+// grammar, and no series may repeat. It fails the test on any
+// violation, so /metrics stays scrapeable by real collectors.
+func parsePrometheus(t *testing.T, text string) promSeries {
+	t.Helper()
+	series := promSeries{}
+	typed := map[string]string{} // family -> type
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || !promNameRE.MatchString(fields[2]) {
+				t.Fatalf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					t.Fatalf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: stray comment %q", lineNo, line)
+		}
+
+		rest := line
+		labelPart := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces in %q", lineNo, line)
+			}
+			labelPart = rest[i+1 : j]
+			rest = rest[:i] + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 || !promNameRE.MatchString(fields[0]) {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := fields[0]
+		value, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", lineNo, line, err)
+		}
+		family := name
+		if typ := typed[strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")]; typ == "summary" || typ == "histogram" {
+			family = strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		for _, l := range splitLabels(labelPart) {
+			if !promLabelRE.MatchString(l) {
+				t.Fatalf("line %d: malformed label %q", lineNo, l)
+			}
+		}
+		key := name
+		if labelPart != "" {
+			key = name + "{" + labelPart + "}"
+		}
+		if _, dup := series[key]; dup {
+			t.Fatalf("line %d: duplicate series %q", lineNo, key)
+		}
+		series[key] = value
+	}
+	if len(typed) == 0 {
+		t.Fatal("no metric families found")
+	}
+	return series
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func scrape(t *testing.T, ts *httptest.Server) promSeries {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parsePrometheus(t, string(body))
+}
+
+// /metrics must be valid exposition-format text whose engine cache
+// counters move as repeated identical plan requests hit the caches —
+// the scrape-side view of the /v1/designs metrics.
+func TestMetricsEndpointParsesAndCountersMove(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	before := scrape(t, ts)
+	if got := before[`msoc_engine_plans_total`]; got != 0 {
+		t.Errorf("plans_total = %v before any request, want 0", got)
+	}
+
+	wt := 0.5
+	for i := 0; i < 2; i++ {
+		if status, body := post(t, ts, "/v1/plan", PlanRequest{Width: 32, WT: &wt}); status != http.StatusOK {
+			t.Fatalf("plan %d: status %d: %s", i, status, body)
+		}
+	}
+	after := scrape(t, ts)
+
+	if got := after[`msoc_engine_plans_total`]; got != 2 {
+		t.Errorf("plans_total = %v after two plans, want 2", got)
+	}
+	hits := after[`msoc_engine_schedule_cache_total{result="hit"}`]
+	misses := after[`msoc_engine_schedule_cache_total{result="miss"}`]
+	if misses == 0 {
+		t.Error("schedule cache misses = 0 after a cold plan")
+	}
+	if hits <= before[`msoc_engine_schedule_cache_total{result="hit"}`] {
+		t.Errorf("schedule cache hits did not move across repeated identical plans (hits=%v misses=%v)", hits, misses)
+	}
+	if got := after[`msoc_http_requests_total{endpoint="/v1/plan",code="200"}`]; got != 2 {
+		t.Errorf("http_requests_total{/v1/plan,200} = %v, want 2", got)
+	}
+	if after[`msoc_http_request_duration_seconds_count{endpoint="/v1/plan"}`] != 2 {
+		t.Error("request duration summary did not count the two plans")
+	}
+	if cap := after[`msoc_pool_capacity`]; cap < 1 {
+		t.Errorf("pool capacity = %v, want >= 1", cap)
+	}
+
+	// Error responses land on their own code series.
+	if status, _ := post(t, ts, "/v1/plan", PlanRequest{Width: 0}); status != http.StatusBadRequest {
+		t.Fatalf("invalid plan: status %d, want 400", status)
+	}
+	final := scrape(t, ts)
+	if got := final[`msoc_http_requests_total{endpoint="/v1/plan",code="400"}`]; got != 1 {
+		t.Errorf("http_requests_total{/v1/plan,400} = %v, want 1", got)
+	}
+}
+
+// A coordinator's scrape must carry one shards series per configured
+// worker even before any sweep ran, so scrapers see the topology.
+func TestMetricsListsConfiguredWorkers(t *testing.T) {
+	s := New(Options{WorkerURLs: []string{"http://worker-a:8093/", "http://worker-b:8093"}})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	series := scrape(t, ts)
+	for _, w := range []string{"http://worker-a:8093", "http://worker-b:8093"} {
+		key := fmt.Sprintf(`msoc_worker_shards_total{result="ok",worker=%q}`, w)
+		if _, ok := series[key]; !ok {
+			t.Errorf("scrape missing %s", key)
+		}
+	}
+}

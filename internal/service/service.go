@@ -1,15 +1,29 @@
 // Package service exposes the planning Engine as an HTTP/JSON API —
-// the serving layer of the reproduction. Three endpoints:
+// the serving layer of the reproduction. The endpoints:
 //
 //	POST /v1/plan     solve one (width, weights) point
 //	POST /v1/sweep    solve a (widths × weights) grid
+//	POST /v1/shard    solve one round-robin shard of a sweep (worker half
+//	                  of a distributed sweep)
 //	GET  /v1/designs  live cache sessions and cache-hit metrics
+//	GET  /metrics     Prometheus text-format scrape surface
 //
 // plus GET /healthz for probes. Responses are bit-identical to direct
 // library calls (mixsoc.Plan, mixsoc.SweepWith): the engine's caches
 // only deduplicate deterministic work, floats survive Go's JSON
 // round-trip exactly, and msoc-plan -json emits the same bytes for the
 // same request, which CI diffs against a live server.
+//
+// A server given WorkerURLs runs as a *coordinator*: POST /v1/sweep is
+// answered by partitioning the (widths × weights) cells round-robin —
+// the same experiments.RoundRobin rule the sharded grid runner uses —
+// fanning one POST /v1/shard per shard out to the workers under
+// per-shard deadlines with retry-by-reassignment, and merging the JSON
+// partials into a response byte-identical to an in-process sweep. The
+// equality holds because every cell is independent, the workers solve
+// their cells with core.SweepOptions.Select (subset == full-sweep bits,
+// pinned by TestSweepSelectMatchesFullSweep), and float64s survive the
+// JSON hop exactly.
 //
 // Every request runs under a deadline (client-requested, capped by the
 // server) and inside a bounded worker pool: at most MaxConcurrent
@@ -29,6 +43,7 @@ import (
 	"time"
 
 	"mixsoc/internal/core"
+	"mixsoc/internal/experiments"
 )
 
 // Options configures New. The zero value serves the paper benchmark
@@ -47,6 +62,22 @@ type Options struct {
 	// RequestTimeout is the per-request planning deadline, which also
 	// caps client-supplied timeout_ms. Default 120s.
 	RequestTimeout time.Duration
+	// WorkerURLs, when non-empty, runs the server as a distributed-sweep
+	// coordinator: POST /v1/sweep fans round-robin shards out to these
+	// base URLs (each another msoc-serve exposing POST /v1/shard) and
+	// merges the partials. Plan requests and /v1/shard still run
+	// in-process.
+	WorkerURLs []string
+	// ShardTimeout is the coordinator's per-shard-attempt deadline; a
+	// worker that has not answered within it is abandoned and the shard
+	// reassigned. Default 60s (always additionally capped by the
+	// request's own deadline).
+	ShardTimeout time.Duration
+	// ShardAttempts bounds how many workers one shard is offered to
+	// before the sweep fails; attempts walk the worker list round-robin
+	// from the shard's home worker. Default (and cap-free maximum
+	// sensible value): len(WorkerURLs).
+	ShardAttempts int
 }
 
 // Server answers planning requests over HTTP; build with New, mount
@@ -55,6 +86,8 @@ type Server struct {
 	engine  *core.Engine
 	sem     chan struct{}
 	timeout time.Duration
+	coord   *coordinator
+	metrics *metricsRegistry
 }
 
 // New builds a server: it resolves the option defaults, splits the CPU
@@ -81,26 +114,34 @@ func New(opts Options) *Server {
 	if engine == nil {
 		engine = core.NewEngine(core.EngineOptions{Workers: inner})
 	}
-	return &Server{
+	s := &Server{
 		engine:  engine,
 		sem:     make(chan struct{}, maxConc),
 		timeout: timeout,
+		metrics: newMetricsRegistry(maxConc),
 	}
+	if len(opts.WorkerURLs) > 0 {
+		s.coord = newCoordinator(opts, s.metrics)
+	}
+	return s
 }
 
 // Engine returns the engine the server plans with.
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes, each instrumented with the
+// per-endpoint request and latency counters /metrics exposes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
+	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
+	mux.Handle("GET /v1/designs", s.instrument("/v1/designs", s.handleDesigns))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
-	})
+	}))
 	return mux
 }
 
@@ -180,17 +221,33 @@ func (s *Server) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 	return &PlanResponse{DesignHash: hash, Width: req.Width, Weights: weights, Result: res}, nil
 }
 
-// Sweep computes the response of POST /v1/sweep for req; see Plan.
-func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
-	if len(req.Widths) == 0 {
+// sweepSpec is a validated sweep: the resolved design and hash, the
+// normalized weight axis, and the grid geometry the coordinator's
+// shard numbering derives from.
+type sweepSpec struct {
+	design  *core.Design
+	hash    string
+	widths  []int
+	wts     []float64 // normalized WTs (defaulted when the request had none)
+	weights []core.Weights
+}
+
+// cells is the dense grid size, weights-major: cell i is
+// (widths[i%len(widths)], weights[i/len(widths)]).
+func (sp *sweepSpec) cells() int { return len(sp.widths) * len(sp.weights) }
+
+// validateSweep checks a sweep's axes, bounds and design — shared by
+// the in-process sweep, the coordinator, and the worker shard endpoint,
+// so all three accept exactly the same grids.
+func validateSweep(design json.RawMessage, benchmark string, widths []int, wts []float64) (*sweepSpec, error) {
+	if len(widths) == 0 {
 		return nil, badRequestf("sweep needs at least one width")
 	}
-	for _, w := range req.Widths {
+	for _, w := range widths {
 		if err := validateWidth(w); err != nil {
 			return nil, err
 		}
 	}
-	wts := req.WTs
 	if len(wts) == 0 {
 		wts = []float64{0.5}
 	}
@@ -202,14 +259,50 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 		}
 		weights[i] = w
 	}
-	if cells := len(req.Widths) * len(weights); cells > MaxSweepCells {
+	if cells := len(widths) * len(weights); cells > MaxSweepCells {
 		return nil, badRequestf("sweep grid of %d cells exceeds the %d-cell bound", cells, MaxSweepCells)
 	}
-	d, err := resolveDesign(req.Design, req.Benchmark)
+	d, err := resolveDesign(design, benchmark)
 	if err != nil {
 		return nil, err
 	}
 	hash, err := core.DesignHash(d)
+	if err != nil {
+		return nil, err
+	}
+	return &sweepSpec{design: d, hash: hash, widths: widths, wts: wts, weights: weights}, nil
+}
+
+// distributable reports whether the grid's cells are addressable by
+// (width, weight) value — what the worker-side Select closure keys on —
+// which requires both axes to be duplicate-free. A grid with duplicate
+// axis values still sweeps fine in-process; the coordinator just keeps
+// it local.
+func (sp *sweepSpec) distributable() bool {
+	ws := make(map[int]bool, len(sp.widths))
+	for _, w := range sp.widths {
+		if ws[w] {
+			return false
+		}
+		ws[w] = true
+	}
+	ts := make(map[float64]bool, len(sp.wts))
+	for _, wt := range sp.wts {
+		if ts[wt] {
+			return false
+		}
+		ts[wt] = true
+	}
+	return true
+}
+
+// Sweep computes the response of POST /v1/sweep for req; see Plan. On a
+// coordinator (Options.WorkerURLs set) cold sweeps are fanned out to
+// the workers and merged byte-identically to the in-process path;
+// warm-started sweeps — whose cross-width chaining is inherently
+// sequential — and grids with duplicate axis values plan in-process.
+func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	sp, err := validateSweep(req.Design, req.Benchmark, req.Widths, req.WTs)
 	if err != nil {
 		return nil, err
 	}
@@ -222,14 +315,65 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 	}
 	defer release()
 
-	points, err := s.engine.Sweep(ctx, d, req.Widths, weights, core.SweepOptions{
+	if s.coord != nil && !req.WarmStart && sp.distributable() {
+		return s.coord.sweep(ctx, sp, req)
+	}
+	points, err := s.engine.Sweep(ctx, sp.design, sp.widths, sp.weights, core.SweepOptions{
 		Exhaustive: req.Exhaustive,
 		WarmStart:  req.WarmStart,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &SweepResponse{DesignHash: hash, Points: points}, nil
+	return &SweepResponse{DesignHash: sp.hash, Points: points}, nil
+}
+
+// Shard computes the response of POST /v1/shard for req: the shard's
+// round-robin slice of the full (widths × wts) grid, solved cold
+// through core.SweepOptions.Select so every returned point is
+// bit-identical to the same cell of an unsharded sweep.
+func (s *Server) Shard(ctx context.Context, req ShardRequest) (*ShardResponse, error) {
+	sp, err := validateSweep(req.Design, req.Benchmark, req.Widths, req.WTs)
+	if err != nil {
+		return nil, err
+	}
+	if !sp.distributable() {
+		return nil, badRequestf("shard grids must have duplicate-free width and wt axes")
+	}
+	idx, err := experiments.RoundRobin(sp.cells(), req.Shard, req.Of)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	if len(idx) == 0 {
+		return nil, badRequestf("shard %d/%d owns no cells of a %d-cell grid", req.Shard, req.Of, sp.cells())
+	}
+	type cellKey struct {
+		width int
+		time  float64
+	}
+	own := make(map[cellKey]bool, len(idx))
+	for _, i := range idx {
+		own[cellKey{sp.widths[i%len(sp.widths)], sp.weights[i/len(sp.widths)].Time}] = true
+	}
+
+	ctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	points, err := s.engine.Sweep(ctx, sp.design, sp.widths, sp.weights, core.SweepOptions{
+		Exhaustive: req.Exhaustive,
+		Select: func(w int, wt core.Weights) bool {
+			return own[cellKey{w, wt.Time}]
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResponse{DesignHash: sp.hash, Shard: req.Shard, Of: req.Of, Points: points}, nil
 }
 
 // Designs computes the response of GET /v1/designs.
@@ -263,6 +407,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeResponse(w, resp)
 }
 
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Shard(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResponse(w, resp)
+}
+
+// handleMetrics renders the Prometheus text-format scrape surface:
+// engine cache counters, worker-pool saturation, per-endpoint request
+// counts and latencies, and (on a coordinator) per-worker shard
+// outcomes.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var workers []string
+	if s.coord != nil {
+		workers = s.coord.workers
+	}
+	s.metrics.render(w, s.engine.Metrics(), workers)
+}
+
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 	writeResponse(w, s.Designs())
 }
@@ -287,16 +457,22 @@ func writeResponse(w http.ResponseWriter, v any) {
 	}
 }
 
-// writeError maps an error to its HTTP status: validation to 400,
-// deadline to 504, cancellation to 499 (client gone), anything else to
-// 500.
+// writeError maps an error to its HTTP status: validation to 400, a
+// failed distributed sweep to 502 (with per-worker detail in the body),
+// pool saturation to 503, deadline to 504, cancellation to 499 (client
+// gone), anything else to 500.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var bad badRequestError
 	var sat saturatedError
+	var dist *distributedSweepError
+	var workers []WorkerFailure
 	switch {
 	case errors.As(err, &bad):
 		status = http.StatusBadRequest
+	case errors.As(err, &dist):
+		status = http.StatusBadGateway
+		workers = dist.Failures
 	case errors.As(err, &sat):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -304,7 +480,9 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		status = 499 // client closed request (nginx convention)
 	}
-	writeStatus(w, status, err.Error())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = WriteJSON(w, ErrorResponse{Error: err.Error(), Workers: workers})
 }
 
 func writeStatus(w http.ResponseWriter, status int, msg string) {

@@ -93,6 +93,65 @@ type SweepResponse struct {
 	Points []core.SweepPoint `json:"points"`
 }
 
+// ShardRequest is the body of POST /v1/shard — the worker half of a
+// distributed sweep. It names the coordinator's full (widths × wts)
+// grid plus this worker's round-robin slice of it, so every worker
+// derives the same cell numbering without coordination (the
+// experiments.RoundRobin rule shared with the grid runner).
+type ShardRequest struct {
+	// Design is an inline design; see PlanRequest.Design. The
+	// coordinator forwards its request's design bytes verbatim, so the
+	// worker resolves — and hashes — the identical design.
+	Design json.RawMessage `json:"design,omitempty"`
+	// Benchmark names a built-in design; see PlanRequest.Benchmark.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Widths is the full sweep's TAM width axis (not just this shard's).
+	Widths []int `json:"widths"`
+	// WTs is the full sweep's test-time weight axis.
+	WTs []float64 `json:"wts,omitempty"`
+	// Exhaustive selects the exhaustive baseline per grid point.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Shard is this worker's index in the round-robin split: it owns the
+	// weights-major cells shard, shard+of, shard+2·of, ….
+	Shard int `json:"shard"`
+	// Of is the total number of shards in the split.
+	Of int `json:"of"`
+	// TimeoutMS caps this shard's planning time; see
+	// PlanRequest.TimeoutMS.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ShardResponse is the body of a successful POST /v1/shard: the shard's
+// cells solved cold, in weights-major order of the full grid restricted
+// to the shard — exactly the order the coordinator's merge expects.
+type ShardResponse struct {
+	// DesignHash is the worker's content hash of the resolved design;
+	// the coordinator rejects a merge whose workers disagree on it.
+	DesignHash string `json:"design_hash"`
+	// Shard echoes the request's shard index.
+	Shard int `json:"shard"`
+	// Of echoes the request's shard count.
+	Of int `json:"of"`
+	// Points are the owned cells' solutions, each bit-identical to the
+	// corresponding point of an unsharded cold sweep
+	// (core.SweepOptions.Select pins that equality).
+	Points []core.SweepPoint `json:"points"`
+}
+
+// WorkerFailure records one failed shard attempt of a distributed
+// sweep: which worker, which shard, and why. A coordinator that cannot
+// complete a sweep returns every attempt's failure in the 502 body.
+type WorkerFailure struct {
+	// Worker is the base URL of the worker that failed.
+	Worker string `json:"worker"`
+	// Shard is the round-robin shard index the attempt carried.
+	Shard int `json:"shard"`
+	// Error describes the failure: a transport error, a non-2xx status
+	// with the worker's error body, a shard deadline, or a merge-contract
+	// violation.
+	Error string `json:"error"`
+}
+
 // DesignsResponse is the body of GET /v1/designs: the engine's live
 // cache sessions and its cache-efficiency counters.
 type DesignsResponse struct {
@@ -107,6 +166,9 @@ type ErrorResponse struct {
 	// Error is a human-readable description of what the request got
 	// wrong (4xx) or what failed (5xx).
 	Error string `json:"error"`
+	// Workers details every failed shard attempt when a distributed
+	// sweep could not complete (502 only); empty otherwise.
+	Workers []WorkerFailure `json:"workers,omitempty"`
 }
 
 // badRequestError marks validation failures so the handler maps them to
