@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startRun boots run() on an ephemeral port with an injected signal
+// channel, returning the base URL, the signal channel, and the channel
+// run's error lands on.
+func startRun(t *testing.T, extra ...string) (base string, sigs chan os.Signal, done chan error) {
+	t.Helper()
+	sigs = make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done = make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { done <- run(args, sigs, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sigs, done
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+		return "", nil, nil
+	}
+}
+
+// A SIGTERM-style signal must drain gracefully: an in-flight sweep
+// finishes with a 200 while the listener stops accepting, and run
+// returns nil with nothing left running.
+func TestGracefulShutdownDrainsInFlightRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	base, sigs, done := startRun(t, "-drain", "30s")
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	sweepDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/sweep", "application/json",
+			strings.NewReader(`{"widths":[32,40,48],"wts":[0.5]}`))
+		if err != nil {
+			sweepDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		sweepDone <- result{status: resp.StatusCode, body: body}
+	}()
+
+	// Give the sweep a moment to be in flight, then pull the trigger.
+	time.Sleep(100 * time.Millisecond)
+	sigs <- syscall.SIGTERM
+
+	select {
+	case res := <-sweepDone:
+		if res.err != nil {
+			t.Fatalf("in-flight sweep failed during drain: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight sweep: status %d during drain: %s", res.status, res.body)
+		}
+		if !bytes.Contains(res.body, []byte(`"points"`)) {
+			t.Fatalf("drained sweep returned no points: %s", res.body)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("in-flight sweep never completed during drain")
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never returned after the shutdown signal")
+	}
+
+	// The listener must be gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// A server with fleet flags must also come down cleanly: the probe loop
+// stops with run instead of leaking.
+func TestGracefulShutdownStopsFleetProbes(t *testing.T) {
+	base, sigs, done := startRun(t,
+		"-worker-urls", "http://127.0.0.1:1", // nothing listens there
+		"-probe-interval", "20ms", "-probe-timeout", "50ms")
+
+	// Let a few probes fail, proving the loop is live.
+	time.Sleep(100 * time.Millisecond)
+	resp, err := http.Get(base + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("http://127.0.0.1:1")) {
+		t.Fatalf("fleet does not list the configured worker: %s", body)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never returned; probe loop likely blocked shutdown")
+	}
+}
+
+// Bad flags must fail run, not the process (flag.ContinueOnError).
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, nil, nil); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}

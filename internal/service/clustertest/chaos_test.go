@@ -1,0 +1,204 @@
+package clustertest
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"mixsoc/internal/service"
+)
+
+// chaosGrid is the sweep every scenario runs: 6 cells, so a 2–3 worker
+// fleet gets multiple shards each, small enough to keep the suite fast.
+var chaosGrid = service.SweepRequest{Widths: []int{32, 40, 48}, WTs: []float64{0.5, 0.25}}
+
+// oneCell pins the whole sweep to a single shard, for scenarios that
+// need to know exactly where the first attempt lands.
+var oneCell = service.SweepRequest{Widths: []int{32}, WTs: []float64{0.5}}
+
+// waitFor is the ceiling on every lifecycle wait; with the cluster's
+// compressed timings transitions land in tens of milliseconds, so this
+// only bounds pathological scheduling.
+const waitFor = 15 * time.Second
+
+// Killing a worker mid-sweep — after it has received at least one shard
+// — must not change a byte of the merged response: its remaining shards
+// reassign to the survivors, and the fleet marks the corpse.
+func TestChaosKillWorkerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweeps are slow")
+	}
+	want := Reference(t, chaosGrid)
+	c := New(t, 3)
+	victim := c.Workers[0]
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, body := c.Sweep(chaosGrid)
+		done <- result{status, body}
+	}()
+
+	select {
+	case <-victim.ShardSeen():
+	case <-time.After(waitFor):
+		t.Fatal("victim never received a shard; the sweep was not distributed")
+	}
+	victim.Kill()
+
+	select {
+	case res := <-done:
+		if res.status != http.StatusOK {
+			t.Fatalf("sweep across a mid-sweep kill: status %d: %s", res.status, res.body)
+		}
+		if string(res.body) != string(want) {
+			t.Fatalf("merged sweep differs from the in-process reference (%d vs %d bytes)",
+				len(res.body), len(want))
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("sweep never completed after the kill")
+	}
+
+	// The fleet learns: the dead worker leaves the healthy pool (via the
+	// failed shard and the probes that follow).
+	c.WaitState(victim, service.WorkerEvicted, waitFor)
+}
+
+// A hung worker — accepting connections, answering nothing — must be
+// evicted by probes, sweeps must complete without it at reference
+// bytes, and un-hanging it must bring it back into rotation.
+func TestChaosHangEvictThenReadmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweeps are slow")
+	}
+	want := Reference(t, chaosGrid)
+	c := New(t, 2)
+	stalled, healthy := c.Workers[0], c.Workers[1]
+
+	stalled.Hang()
+	c.WaitState(stalled, service.WorkerEvicted, waitFor)
+
+	// With the stalled worker evicted before assignment, the sweep runs
+	// entirely on the survivor and never waits on a shard deadline.
+	t0 := time.Now()
+	c.SweepMatchesReference(chaosGrid, want, "sweep with a hung worker evicted")
+	if elapsed := time.Since(t0); elapsed >= Timings.ShardTimeout {
+		t.Errorf("sweep took %v — it waited on the hung worker instead of avoiding it", elapsed)
+	}
+	if got := c.ShardsServed(stalled); got != 0 {
+		t.Errorf("hung worker served %v shards, want 0", got)
+	}
+	if got := c.ShardsServed(healthy); got == 0 {
+		t.Error("survivor served no shards")
+	}
+
+	// Recovery: probes re-admit the released worker and the next sweep
+	// uses it again.
+	stalled.Unhang()
+	c.WaitState(stalled, service.WorkerHealthy, waitFor)
+	c.SweepMatchesReference(chaosGrid, want, "sweep after re-admission")
+	if got := c.ShardsServed(stalled); got == 0 {
+		t.Error("re-admitted worker served no shards")
+	}
+}
+
+// Kill → restart on the same address: the fleet evicts the dead worker,
+// then probes re-admit the restarted one, and it serves shards again —
+// all without membership changes.
+func TestChaosKillRestartReadmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweeps are slow")
+	}
+	want := Reference(t, chaosGrid)
+	c := New(t, 2)
+	mortal := c.Workers[0]
+
+	mortal.Kill()
+	c.WaitState(mortal, service.WorkerEvicted, waitFor)
+	c.SweepMatchesReference(chaosGrid, want, "sweep with a dead worker")
+	if got := c.ShardsServed(mortal); got != 0 {
+		t.Errorf("dead worker served %v shards, want 0", got)
+	}
+
+	mortal.Restart()
+	c.WaitState(mortal, service.WorkerHealthy, waitFor)
+	c.SweepMatchesReference(chaosGrid, want, "sweep after restart")
+	if got := c.ShardsServed(mortal); got == 0 {
+		t.Error("restarted worker served no shards")
+	}
+}
+
+// A worker hot-added while the only existing member is hanging must
+// rescue the in-flight sweep: the retry loop re-consults the fleet per
+// attempt, sees the newcomer, and completes at reference bytes.
+func TestChaosHotAddRescuesHangingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweeps are slow")
+	}
+	want := Reference(t, oneCell)
+	c := New(t, 1)
+	stalled := c.Workers[0]
+	stalled.Hang()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, body := c.Sweep(oneCell)
+		done <- result{status, body}
+	}()
+
+	// Only once the sweep's single shard is stalled on the hung worker
+	// does the newcomer join — strictly mid-sweep.
+	select {
+	case <-stalled.ShardSeen():
+	case <-time.After(waitFor):
+		t.Fatal("hung worker never received the shard")
+	}
+	rescuer := c.AddWorker()
+	c.Admit(rescuer)
+
+	select {
+	case res := <-done:
+		if res.status != http.StatusOK {
+			t.Fatalf("hot-add rescue: status %d: %s", res.status, res.body)
+		}
+		if string(res.body) != string(want) {
+			t.Fatal("rescued sweep differs from the in-process reference")
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("sweep never completed after the hot-add")
+	}
+	if got := c.ShardsServed(rescuer); got == 0 {
+		t.Error("hot-added worker served no shards; the rescue did not go through it")
+	}
+}
+
+// Removing a member through the API takes effect on the next sweep: the
+// removed worker sees no shards and the fleet stops listing it, while
+// the response bytes stay at reference.
+func TestChaosMembershipRemoval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweeps are slow")
+	}
+	want := Reference(t, chaosGrid)
+	c := New(t, 2)
+	leaver, stayer := c.Workers[0], c.Workers[1]
+
+	c.Remove(leaver)
+	if _, ok := c.WorkerStates()[leaver.URL()]; ok {
+		t.Fatal("removed worker still listed by /v1/workers")
+	}
+	c.SweepMatchesReference(chaosGrid, want, "sweep after removal")
+	if got := c.ShardsServed(leaver); got != 0 {
+		t.Errorf("removed worker served %v shards, want 0", got)
+	}
+	if got := c.ShardsServed(stayer); got == 0 {
+		t.Error("remaining worker served no shards")
+	}
+}

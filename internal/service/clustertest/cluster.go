@@ -1,0 +1,351 @@
+// Package clustertest boots an in-process msoc-serve cluster — N
+// workers plus one coordinator — and injects chaos: workers can be
+// killed (listener and every live connection torn down), hung (every
+// handler stalls, SIGSTOP-style, until released), restarted on their
+// original address, and hot-added mid-sweep. The chaos suite in this
+// package drives those faults while asserting the coordinator's merged
+// SweepResponse bytes stay identical to an in-process sweep — the
+// determinism contract the paper's tables pin.
+//
+// Workers are real service.Servers behind real TCP listeners (not
+// httptest), because kill-and-restart must rebind the same address the
+// fleet knows the worker by.
+package clustertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mixsoc/internal/service"
+)
+
+// Worker is one cluster member whose process-level failure modes are
+// injectable. Its three states mirror what a fleet sees in production:
+// serving (healthy process), hung (alive but stalled — accepts
+// connections, never answers), and killed (listener closed, live
+// connections reset).
+type Worker struct {
+	t    *testing.T
+	addr string // fixed for the worker's lifetime, across restarts
+	svc  *service.Server
+
+	mu      sync.Mutex
+	hangCh  chan struct{} // non-nil while hung; closing it releases stalled requests
+	httpSrv *http.Server
+	running bool
+
+	// shardSeen is closed the first time a /v1/shard request arrives,
+	// so tests can fault the worker only after it is mid-sweep.
+	shardOnce sync.Once
+	shardSeen chan struct{}
+}
+
+// URL returns the worker's base URL; it survives Kill/Restart, which is
+// the point — the fleet re-admits the same member, not a new one.
+func (w *Worker) URL() string { return "http://" + w.addr }
+
+// ShardSeen is closed once the worker has received at least one
+// /v1/shard request; wait on it to fault the worker mid-sweep.
+func (w *Worker) ShardSeen() <-chan struct{} { return w.shardSeen }
+
+// ServeHTTP wraps the worker's service handler with the chaos valve:
+// while hung, every request — probes and shards alike — blocks until
+// the caller's context gives up or Unhang releases it.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/shard" {
+		w.shardOnce.Do(func() { close(w.shardSeen) })
+	}
+	w.mu.Lock()
+	hangCh := w.hangCh
+	w.mu.Unlock()
+	if hangCh != nil {
+		select {
+		case <-hangCh: // released: serve normally
+		case <-r.Context().Done():
+			return // the caller gave up, as it would on a stalled process
+		}
+	}
+	w.svc.Handler().ServeHTTP(rw, r)
+}
+
+// Hang stalls the worker: it keeps accepting connections but no request
+// makes progress, like a SIGSTOPped process behind a live socket.
+func (w *Worker) Hang() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hangCh == nil {
+		w.hangCh = make(chan struct{})
+	}
+}
+
+// Unhang releases a hung worker; stalled requests still waiting resume
+// and serve normally.
+func (w *Worker) Unhang() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hangCh != nil {
+		close(w.hangCh)
+		w.hangCh = nil
+	}
+}
+
+// Kill tears the worker down the way a dead process would: the listener
+// closes and every established connection is reset, so in-flight shards
+// fail immediately rather than timing out.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	srv := w.httpSrv
+	w.httpSrv = nil
+	w.running = false
+	w.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Restart rebinds the worker's original address and serves again; the
+// fleet's next successful probe re-admits it.
+func (w *Worker) Restart() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.running {
+		w.t.Fatalf("Restart of running worker %s", w.addr)
+	}
+	ln, err := net.Listen("tcp", w.addr)
+	if err != nil {
+		w.t.Fatalf("worker %s: restart: %v", w.addr, err)
+	}
+	w.serveLocked(ln)
+}
+
+// serveLocked starts serving on ln; callers hold w.mu.
+func (w *Worker) serveLocked(ln net.Listener) {
+	srv := &http.Server{Handler: w}
+	w.httpSrv = srv
+	w.running = true
+	go srv.Serve(ln)
+}
+
+// Cluster is N chaos-capable workers plus one coordinator whose fleet
+// timings are compressed so probes, evictions, and re-admissions play
+// out in milliseconds.
+type Cluster struct {
+	t       *testing.T
+	Workers []*Worker
+	Coord   *service.Server
+	Front   *httptest.Server // the coordinator's HTTP face
+}
+
+// Timings are the compressed fleet timings every cluster coordinator
+// runs with; exported so scenario assertions can reason about them.
+var Timings = service.Options{
+	ProbeInterval:         20 * time.Millisecond,
+	ProbeTimeout:          100 * time.Millisecond,
+	ProbeFailureThreshold: 2,
+	ReadmitBackoff:        20 * time.Millisecond,
+	ShardTimeout:          2 * time.Second,
+	RetryBackoff:          time.Millisecond,
+}
+
+// New boots n workers and a coordinator over all of them. Every piece
+// is cleaned up through t.Cleanup.
+func New(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c := &Cluster{t: t}
+	for i := 0; i < n; i++ {
+		c.Workers = append(c.Workers, c.AddWorker())
+	}
+	opts := Timings
+	for _, w := range c.Workers {
+		opts.WorkerURLs = append(opts.WorkerURLs, w.URL())
+	}
+	c.Coord = service.New(opts)
+	t.Cleanup(c.Coord.Close)
+	c.Front = httptest.NewServer(c.Coord.Handler())
+	t.Cleanup(c.Front.Close)
+	return c
+}
+
+// AddWorker boots one serving worker without telling the coordinator —
+// pair with Admit (or POST /v1/workers) for hot-add scenarios.
+func (c *Cluster) AddWorker() *Worker {
+	c.t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	w := &Worker{
+		t:         c.t,
+		addr:      ln.Addr().String(),
+		svc:       service.New(service.Options{}),
+		shardSeen: make(chan struct{}),
+	}
+	c.t.Cleanup(w.svc.Close)
+	w.mu.Lock()
+	w.serveLocked(ln)
+	w.mu.Unlock()
+	c.t.Cleanup(w.Kill)
+	c.t.Cleanup(w.Unhang) // release any still-stalled handlers
+	return w
+}
+
+// Admit adds a worker to the coordinator's fleet through the public
+// membership API, exactly as an operator would.
+func (c *Cluster) Admit(w *Worker) {
+	c.t.Helper()
+	status, body := c.post("/v1/workers", service.WorkersUpdateRequest{Add: []string{w.URL()}})
+	if status != http.StatusOK {
+		c.t.Fatalf("admit %s: status %d: %s", w.URL(), status, body)
+	}
+}
+
+// Remove drops a worker from the fleet through the membership API.
+func (c *Cluster) Remove(w *Worker) {
+	c.t.Helper()
+	status, body := c.post("/v1/workers", service.WorkersUpdateRequest{Remove: []string{w.URL()}})
+	if status != http.StatusOK {
+		c.t.Fatalf("remove %s: status %d: %s", w.URL(), status, body)
+	}
+}
+
+// Sweep posts one sweep to the coordinator and returns the status and
+// raw response bytes.
+func (c *Cluster) Sweep(req service.SweepRequest) (int, []byte) {
+	c.t.Helper()
+	return c.post("/v1/sweep", req)
+}
+
+// SweepMatchesReference posts the sweep to the coordinator and fails
+// the test unless the response is 200 with bytes identical to want
+// (see Reference).
+func (c *Cluster) SweepMatchesReference(req service.SweepRequest, want []byte, scenario string) {
+	c.t.Helper()
+	status, got := c.Sweep(req)
+	if status != http.StatusOK {
+		c.t.Fatalf("%s: sweep status %d: %s", scenario, status, got)
+	}
+	if !bytes.Equal(got, want) {
+		c.t.Fatalf("%s: merged sweep differs from the in-process reference (%d vs %d bytes)",
+			scenario, len(got), len(want))
+	}
+}
+
+// Reference computes the sweep on a throwaway standalone server — the
+// in-process bytes every chaotic merge must reproduce.
+func Reference(t *testing.T, req service.SweepRequest) []byte {
+	t.Helper()
+	s := service.New(service.Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", marshal(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference sweep: status %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// WorkerStates fetches the fleet's view through GET /v1/workers, keyed
+// by worker URL.
+func (c *Cluster) WorkerStates() map[string]service.WorkerInfo {
+	c.t.Helper()
+	resp, err := http.Get(c.Front.URL + "/v1/workers")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wr service.WorkersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		c.t.Fatal(err)
+	}
+	states := make(map[string]service.WorkerInfo, len(wr.Workers))
+	for _, wi := range wr.Workers {
+		states[wi.URL] = wi
+	}
+	return states
+}
+
+// WaitState polls the fleet until the worker reaches the wanted
+// lifecycle state, failing the test after the deadline.
+func (c *Cluster) WaitState(w *Worker, state string, deadline time.Duration) {
+	c.t.Helper()
+	timeout := time.After(deadline)
+	for {
+		if wi, ok := c.WorkerStates()[w.URL()]; ok && wi.State == state {
+			return
+		}
+		select {
+		case <-timeout:
+			wi := c.WorkerStates()[w.URL()]
+			c.t.Fatalf("worker %s never reached %q within %v; fleet sees %+v", w.URL(), state, deadline, wi)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// ShardsServed reads the worker's ok-shard counter off the
+// coordinator's /metrics scrape.
+func (c *Cluster) ShardsServed(w *Worker) float64 {
+	c.t.Helper()
+	resp, err := http.Get(c.Front.URL + "/metrics")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	key := fmt.Sprintf("msoc_worker_shards_total{result=%q,worker=%q} ", "ok", w.URL())
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte(key)) {
+			var v float64
+			if _, err := fmt.Sscanf(string(line[len(key):]), "%g", &v); err != nil {
+				c.t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// post sends one JSON request to the coordinator.
+func (c *Cluster) post(path string, reqBody any) (int, []byte) {
+	c.t.Helper()
+	resp, err := http.Post(c.Front.URL+path, "application/json", marshal(c.t, reqBody))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// marshal encodes a request body or fails the test.
+func marshal(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}

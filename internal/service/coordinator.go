@@ -5,18 +5,25 @@ package service
 // makes the paper's Table 4 grid shardable across machines — so the
 // coordinator partitions them round-robin (experiments.RoundRobin, the
 // grid runner's rule), posts one /v1/shard request per shard to the
-// configured workers, and reassembles the partial point lists into the
+// fleet's workers, and reassembles the partial point lists into the
 // dense weights-major order an in-process sweep returns. The merged
 // response is byte-identical to the in-process one: each worker solves
 // its cells through core.SweepOptions.Select (subset == full-sweep
 // bits), float64s survive the JSON hop exactly, and the merge only
 // permutes — never recomputes — the points.
 //
+// Worker selection goes through the fleet: shards are homed only on
+// currently-assignable workers (healthy first), the shard count is
+// capacity-weighted (fleet.assign), and every shard outcome feeds the
+// fleet's state machine, so a worker that times out one shard becomes
+// suspect for every later assignment decision, fleet-wide.
+//
 // Failure handling: every shard attempt runs under its own deadline
 // (Options.ShardTimeout, additionally capped by the request deadline);
 // a worker that errors, answers non-2xx, violates the merge contract,
 // or hangs past the deadline is abandoned and the shard reassigned to
-// the next worker round-robin, up to Options.ShardAttempts distinct
+// the next-best fleet member after a short exponential backoff
+// (Options.RetryBackoff), up to Options.ShardAttempts distinct
 // attempts. A shard that exhausts its attempts fails the sweep with a
 // 502 carrying every attempt's WorkerFailure.
 
@@ -27,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -40,45 +48,80 @@ import (
 // coordinator reads back into a WorkerFailure.
 const maxWorkerErrorBytes = 4 << 10
 
-// coordinator fans sweep shards out to worker servers and merges the
-// partials.
-type coordinator struct {
-	workers      []string // normalized base URLs, fixed after New
-	client       *http.Client
-	shardTimeout time.Duration
-	attempts     int // max distinct attempts per shard
-	metrics      *metricsRegistry
+// retryBackoffCap bounds the doubling retry backoff at this many times
+// the base Options.RetryBackoff.
+const retryBackoffCap = 8
+
+// newFleetTransport builds the one tuned http.Transport the fleet's
+// probes and the coordinator's shard fan-out share: connection reuse
+// sized for a whole sweep's fan-out (a large sweep re-posts to the same
+// few workers hundreds of times; re-dialing each attempt would melt the
+// gain of distribution) and bounded dial/TLS handshake waits so a
+// black-holed worker costs a deadline, not a hung file descriptor.
+func newFleetTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64, // ≥ any realistic per-worker shard fan-out
+		IdleConnTimeout:       90 * time.Second,
+	}
 }
 
-// newCoordinator normalizes the option defaults; only called when
-// Options.WorkerURLs is non-empty. It returns nil — no coordinator,
-// the server stays standalone — when normalization leaves no usable
-// worker URL, so a misconfigured list can never produce a coordinator
-// that "merges" zero shards into a grid of zero values.
-func newCoordinator(opts Options, m *metricsRegistry) *coordinator {
-	workers := make([]string, 0, len(opts.WorkerURLs))
-	for _, u := range opts.WorkerURLs {
-		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
-			workers = append(workers, u)
-		}
-	}
-	if len(workers) == 0 {
-		return nil
-	}
+// coordinator fans sweep shards out to the fleet's workers and merges
+// the partials.
+type coordinator struct {
+	fleet        *fleet
+	client       *http.Client
+	shardTimeout time.Duration
+	attempts     int           // max distinct attempts per shard; 0 = every current member
+	retryBackoff time.Duration // base backoff between a shard's attempts
+	metrics      *metricsRegistry
+
+	// sleep waits between shard attempts; replaced in tests with a
+	// recording no-op so retry tests stay fast and deterministic.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// newCoordinator builds the coordinator over the fleet; the server owns
+// one even when the fleet starts empty, so workers hot-added through
+// POST /v1/workers turn a standalone server into a coordinator without
+// a restart.
+func newCoordinator(opts Options, fl *fleet, client *http.Client, m *metricsRegistry) *coordinator {
 	shardTimeout := opts.ShardTimeout
 	if shardTimeout <= 0 {
 		shardTimeout = 60 * time.Second
 	}
-	attempts := opts.ShardAttempts
-	if attempts < 1 || attempts > len(workers) {
-		attempts = len(workers)
+	retryBackoff := opts.RetryBackoff
+	if retryBackoff <= 0 {
+		retryBackoff = 250 * time.Millisecond
 	}
 	return &coordinator{
-		workers:      workers,
-		client:       &http.Client{}, // per-attempt contexts carry the deadlines
+		fleet:        fl,
+		client:       client, // per-attempt contexts carry the deadlines
 		shardTimeout: shardTimeout,
-		attempts:     attempts,
+		attempts:     max(0, opts.ShardAttempts),
+		retryBackoff: retryBackoff,
 		metrics:      m,
+		sleep:        sleepCtx,
+	}
+}
+
+// sleepCtx sleeps for d or until ctx fires, returning ctx's error in
+// the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -98,12 +141,18 @@ func (e *distributedSweepError) Error() string {
 		len(shards), len(e.Failures))
 }
 
-// sweep answers a cold /v1/sweep by fanning shards out to the workers
-// and merging the partials; the result is byte-identical to the
-// in-process sweep for the same spec.
-func (c *coordinator) sweep(ctx context.Context, sp *sweepSpec, req SweepRequest) (*SweepResponse, error) {
+// sweep answers a cold /v1/sweep by fanning shards out to the fleet's
+// assignable workers and merging the partials; the result is
+// byte-identical to the in-process sweep for the same spec. ok=false
+// (with no error) means the fleet is empty and the caller should sweep
+// in-process.
+func (c *coordinator) sweep(ctx context.Context, sp *sweepSpec, req SweepRequest) (resp *SweepResponse, ok bool, err error) {
 	cells := sp.cells()
-	of := min(len(c.workers), cells)
+	homes, ok := c.fleet.assign(cells)
+	if !ok {
+		return nil, false, nil
+	}
+	of := len(homes)
 
 	type shardOutcome struct {
 		resp     *ShardResponse
@@ -116,7 +165,7 @@ func (c *coordinator) sweep(ctx context.Context, sp *sweepSpec, req SweepRequest
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			resp, failures, err := c.runShard(ctx, sp, req, shard, of)
+			resp, failures, err := c.runShard(ctx, sp, req, shard, of, homes[shard])
 			outcomes[shard] = shardOutcome{resp: resp, failures: failures, err: err}
 		}(shard)
 	}
@@ -127,13 +176,13 @@ func (c *coordinator) sweep(ctx context.Context, sp *sweepSpec, req SweepRequest
 		if o.err != nil {
 			// The request itself died (deadline or client abort); report
 			// that, not a worker failure.
-			return nil, o.err
+			return nil, true, o.err
 		}
 		failures = append(failures, o.failures...)
 	}
 	for _, o := range outcomes {
 		if o.resp == nil {
-			return nil, &distributedSweepError{Failures: failures}
+			return nil, true, &distributedSweepError{Failures: failures}
 		}
 	}
 
@@ -149,15 +198,18 @@ func (c *coordinator) sweep(ctx context.Context, sp *sweepSpec, req SweepRequest
 			points[shard+j*of] = pt
 		}
 	}
-	return &SweepResponse{DesignHash: sp.hash, Points: points}, nil
+	return &SweepResponse{DesignHash: sp.hash, Points: points}, true, nil
 }
 
-// runShard computes one shard on the workers: the home worker is
-// workers[shard % len(workers)], and each failure reassigns the shard
-// to the next worker round-robin, up to c.attempts distinct workers.
-// The returned error is non-nil only when the *request* context died;
-// per-worker problems come back as WorkerFailures with a nil response.
-func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequest, shard, of int) (*ShardResponse, []WorkerFailure, error) {
+// runShard computes one shard on the fleet: the home worker gets the
+// first attempt, and each failure reassigns the shard to the next-best
+// untried member (fleet.nextWorker — freshly consulted per attempt, so
+// evictions and hot-adds during the sweep steer the retries) after an
+// exponentially growing backoff. Every outcome feeds the fleet's state
+// machine. The returned error is non-nil only when the *request*
+// context died; per-worker problems come back as WorkerFailures with a
+// nil response.
+func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequest, shard, of int, home string) (*ShardResponse, []WorkerFailure, error) {
 	want, err := experiments.RoundRobin(sp.cells(), shard, of)
 	if err != nil {
 		return nil, nil, err
@@ -176,13 +228,30 @@ func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequ
 		return nil, nil, err
 	}
 
+	// attempts == 0 means "every current member once": the loop runs
+	// until nextWorker exhausts the membership, re-checked per attempt —
+	// so a worker hot-added while this shard's first attempt hangs still
+	// widens the retry budget and can rescue the shard.
+	tried := map[string]bool{}
 	var failures []WorkerFailure
-	for attempt := 0; attempt < c.attempts; attempt++ {
-		worker := c.workers[(shard+attempt)%len(c.workers)]
+	for attempt := 0; c.attempts == 0 || attempt < c.attempts; attempt++ {
+		worker := c.fleet.nextWorker(home, tried)
+		if worker == "" {
+			break // every current member tried
+		}
+		tried[worker] = true
+		if attempt > 0 {
+			backoff := c.retryBackoff << min(attempt-1, retryBackoffCap)
+			if err := c.sleep(ctx, backoff); err != nil {
+				return nil, failures, err
+			}
+		}
 		resp, failure := c.post(ctx, worker, shard, body, sp, want)
 		if failure == nil {
+			c.fleet.reportSuccess(worker, 0)
 			return resp, failures, nil
 		}
+		c.fleet.reportFailure(worker, failure.Error)
 		failures = append(failures, *failure)
 		if ctx.Err() != nil {
 			// The request deadline (or the client) killed the sweep;

@@ -2,11 +2,13 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -18,16 +20,29 @@ var distTestGrid = SweepRequest{Widths: []int{32, 40, 48}, WTs: []float64{0.5, 0
 // newWorker boots one in-process worker server.
 func newWorker(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(Options{}).Handler())
+	s := New(Options{})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// newCoordinator2 boots a coordinator over the given worker URLs,
+// returning both halves so tests can reach the fleet and the
+// coordinator's injectable sleep.
+func newCoordinator2(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
 }
 
 // newCoordinatorServer boots a coordinator over the given worker URLs.
 func newCoordinatorServer(t *testing.T, opts Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(opts).Handler())
-	t.Cleanup(ts.Close)
+	_, ts := newCoordinator2(t, opts)
 	return ts
 }
 
@@ -312,6 +327,117 @@ func TestEmptyNormalizedWorkerListStaysStandalone(t *testing.T) {
 	}
 	if len(resp.Points) != 1 || resp.Points[0].Result == nil || resp.Points[0].Width != 32 {
 		t.Fatalf("sweep returned hollow points: %s", got)
+	}
+}
+
+// recordingSleep replaces the coordinator's retry backoff with an
+// instant no-op that records the requested waits, keeping retry tests
+// fast while pinning the backoff schedule.
+type recordingSleep struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (r *recordingSleep) sleep(ctx context.Context, d time.Duration) error {
+	r.mu.Lock()
+	r.waits = append(r.waits, d)
+	r.mu.Unlock()
+	return ctx.Err()
+}
+
+// newBrokenWorker boots a worker that 500s every request.
+func newBrokenWorker(t *testing.T, msg string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, msg, http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// Shard reassignment must back off between attempts — exponentially
+// from RetryBackoff, with no wait before the first attempt — rather
+// than hammering the fleet instantly. The injected sleep keeps the test
+// instant and pins the exact schedule.
+func TestCoordinatorRetryBackoffSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	oneCell := SweepRequest{Widths: []int{32}, WTs: []float64{0.5}}
+	want := inProcessSweepBytes(t, oneCell)
+
+	brokenA := newBrokenWorker(t, "down")
+	brokenB := newBrokenWorker(t, "down")
+	healthy := newWorker(t)
+
+	base := 100 * time.Millisecond
+	rec := &recordingSleep{}
+	// The one-cell sweep's single shard is homed on brokenA (first in
+	// insertion order, all capacities 1), so the attempt chain is
+	// brokenA → sleep(base) → brokenB → sleep(2·base) → healthy.
+	s, ts := newCoordinator2(t, Options{
+		WorkerURLs:   []string{brokenA.URL, brokenB.URL, healthy.URL},
+		RetryBackoff: base,
+	})
+	s.coord.sleep = rec.sleep
+
+	status, got := post(t, ts, "/v1/sweep", oneCell)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("retried sweep differs from in-process sweep")
+	}
+	rec.mu.Lock()
+	waits := append([]time.Duration(nil), rec.waits...)
+	rec.mu.Unlock()
+	if len(waits) != 2 || waits[0] != base || waits[1] != 2*base {
+		t.Fatalf("backoff schedule = %v, want [%v %v]", waits, base, 2*base)
+	}
+}
+
+// A shard failure is fleet evidence, not private to the retry loop: the
+// failing worker must turn suspect fleet-wide, and once every healthy
+// worker exists the next sweep's shards must avoid it entirely.
+func TestCoordinatorShardFailureFoldsIntoFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	oneCell := SweepRequest{Widths: []int{32}, WTs: []float64{0.5}}
+	broken := newBrokenWorker(t, "disk on fire")
+	healthy := newWorker(t)
+
+	rec := &recordingSleep{}
+	s, ts := newCoordinator2(t, Options{
+		WorkerURLs: []string{broken.URL, healthy.URL},
+	})
+	s.coord.sleep = rec.sleep
+
+	if status, body := post(t, ts, "/v1/sweep", oneCell); status != http.StatusOK {
+		t.Fatalf("first sweep: status %d: %s", status, body)
+	}
+	var snap []WorkerInfo
+	for _, wi := range s.fleet.snapshot() {
+		snap = append(snap, wi)
+	}
+	if snap[0].URL != broken.URL || snap[0].State != WorkerSuspect {
+		t.Fatalf("broken worker after failed shard: %+v, want suspect", snap[0])
+	}
+	if snap[0].LastError == "" {
+		t.Error("suspect worker carries no failure detail")
+	}
+	if snap[1].State != WorkerHealthy {
+		t.Fatalf("healthy worker: %+v", snap[1])
+	}
+
+	// The second sweep must be homed entirely on the healthy worker:
+	// the broken one sees no further attempts.
+	errsBefore := scrape(t, ts)[`msoc_worker_shards_total{result="error",worker="`+broken.URL+`"}`]
+	if status, body := post(t, ts, "/v1/sweep", oneCell); status != http.StatusOK {
+		t.Fatalf("second sweep: status %d: %s", status, body)
+	}
+	if errsAfter := scrape(t, ts)[`msoc_worker_shards_total{result="error",worker="`+broken.URL+`"}`]; errsAfter != errsBefore {
+		t.Errorf("suspect worker was assigned again: error count %v -> %v", errsBefore, errsAfter)
 	}
 }
 

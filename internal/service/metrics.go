@@ -49,27 +49,59 @@ type workerResult struct {
 	result string
 }
 
+// workerTransition is one (worker, to-state) transition-counter series.
+type workerTransition struct {
+	worker string
+	to     string
+}
+
 // metricsRegistry accumulates the service-level counters /metrics
 // renders; engine counters are scraped live from the Engine instead.
+// Worker-keyed counters are never deleted — a worker removed from the
+// fleet keeps its series, so scrape counters never rewind across
+// membership churn.
 type metricsRegistry struct {
 	capacity int // worker-pool slots, a constant gauge
 
-	mu        sync.Mutex
-	inFlight  int
-	httpCount map[epCode]uint64
-	httpDur   map[string]*durStat
-	shards    map[workerResult]uint64
-	shardDur  map[string]*durStat
+	mu          sync.Mutex
+	inFlight    int
+	httpCount   map[epCode]uint64
+	httpDur     map[string]*durStat
+	shards      map[workerResult]uint64
+	shardDur    map[string]*durStat
+	transitions map[workerTransition]uint64
+	probes      map[workerResult]uint64
 }
 
 func newMetricsRegistry(capacity int) *metricsRegistry {
 	return &metricsRegistry{
-		capacity:  capacity,
-		httpCount: map[epCode]uint64{},
-		httpDur:   map[string]*durStat{},
-		shards:    map[workerResult]uint64{},
-		shardDur:  map[string]*durStat{},
+		capacity:    capacity,
+		httpCount:   map[epCode]uint64{},
+		httpDur:     map[string]*durStat{},
+		shards:      map[workerResult]uint64{},
+		shardDur:    map[string]*durStat{},
+		transitions: map[workerTransition]uint64{},
+		probes:      map[workerResult]uint64{},
 	}
+}
+
+// observeTransition counts one fleet state transition (admission counts
+// as a transition to healthy).
+func (m *metricsRegistry) observeTransition(worker, to string) {
+	m.mu.Lock()
+	m.transitions[workerTransition{worker, to}]++
+	m.mu.Unlock()
+}
+
+// observeProbe counts one health-probe outcome against its worker.
+func (m *metricsRegistry) observeProbe(worker string, ok bool) {
+	result := shardResultError
+	if ok {
+		result = shardResultOK
+	}
+	m.mu.Lock()
+	m.probes[workerResult{worker, result}]++
+	m.mu.Unlock()
 }
 
 // observeHTTP records one finished request against its endpoint and
@@ -137,11 +169,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// render writes the whole scrape page. workers is the coordinator's
-// worker list (empty on a standalone server), listed so every
-// configured worker gets a shards-total series even before its first
-// attempt — scrapers see the topology, not just the traffic.
-func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, workers []string) {
+// render writes the whole scrape page. fleet is the coordinator's live
+// membership snapshot (empty on a standalone server): every member gets
+// a shards-total series even before its first attempt — scrapers see
+// the topology, not just the traffic — plus per-worker state and
+// capacity gauges. Worker-keyed counters outlive membership: a removed
+// or evicted worker's series keep their values, so counters never
+// rewind.
+func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []WorkerInfo) {
 	p := &textfmt{w: w}
 
 	p.family("msoc_engine_designs", "Live design cache sessions in the planning engine.", "gauge")
@@ -190,27 +225,45 @@ func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, workers []s
 		p.value("msoc_http_request_duration_seconds_count", labels{"endpoint", ep}, float64(s.count))
 	}
 
-	if len(workers) == 0 && len(m.shards) == 0 {
+	if len(fleet) == 0 && len(m.shards) == 0 && len(m.transitions) == 0 {
 		return
 	}
+
+	// Live fleet gauges: membership counts per state, then per-worker
+	// state and capacity. Only current members appear here — removal
+	// drops the gauges while the counters below persist.
+	p.family("msoc_fleet_workers", "Fleet members by lifecycle state.", "gauge")
+	byState := map[string]int{}
+	for _, wi := range fleet {
+		byState[wi.State]++
+	}
+	for _, state := range []string{WorkerEvicted, WorkerHealthy, WorkerSuspect} {
+		p.value("msoc_fleet_workers", labels{"state", state}, float64(byState[state]))
+	}
+	sortedFleet := append([]WorkerInfo(nil), fleet...)
+	sort.Slice(sortedFleet, func(a, b int) bool { return sortedFleet[a].URL < sortedFleet[b].URL })
+	p.family("msoc_worker_state", "Fleet member lifecycle state (1 healthy, 2 suspect, 3 evicted).", "gauge")
+	for _, wi := range sortedFleet {
+		p.value("msoc_worker_state", labels{"worker", wi.URL}, float64(stateRank(wi.State)))
+	}
+	p.family("msoc_worker_capacity", "Fleet member's advertised CPU budget (weights shard assignment).", "gauge")
+	for _, wi := range sortedFleet {
+		p.value("msoc_worker_capacity", labels{"worker", wi.URL}, float64(wi.Capacity))
+	}
+
 	p.family("msoc_worker_shards_total", "Coordinator shard attempts, by worker and outcome (ok, error, timeout).", "counter")
 	seen := map[workerResult]bool{}
-	series := make([]workerResult, 0, len(m.shards)+len(workers))
+	series := make([]workerResult, 0, len(m.shards)+len(fleet))
 	for k := range m.shards {
 		series = append(series, k)
 		seen[k] = true
 	}
-	for _, w := range workers {
-		if k := (workerResult{w, shardResultOK}); !seen[k] {
+	for _, wi := range fleet {
+		if k := (workerResult{wi.URL, shardResultOK}); !seen[k] {
 			series = append(series, k)
 		}
 	}
-	sort.Slice(series, func(a, b int) bool {
-		if series[a].worker != series[b].worker {
-			return series[a].worker < series[b].worker
-		}
-		return series[a].result < series[b].result
-	})
+	sortWorkerResults(series)
 	for _, k := range series {
 		p.value("msoc_worker_shards_total",
 			labels{"result", k.result, "worker", k.worker}, float64(m.shards[k]))
@@ -222,6 +275,45 @@ func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, workers []s
 		p.value("msoc_worker_shard_duration_seconds_sum", labels{"worker", worker}, s.sum)
 		p.value("msoc_worker_shard_duration_seconds_count", labels{"worker", worker}, float64(s.count))
 	}
+
+	// Lifecycle counters: monotonic across eviction, re-admission and
+	// even removal (removed workers keep their accumulated series).
+	p.family("msoc_worker_probes_total", "Fleet health probes, by worker and outcome (ok, error).", "counter")
+	probes := make([]workerResult, 0, len(m.probes))
+	for k := range m.probes {
+		probes = append(probes, k)
+	}
+	sortWorkerResults(probes)
+	for _, k := range probes {
+		p.value("msoc_worker_probes_total",
+			labels{"result", k.result, "worker", k.worker}, float64(m.probes[k]))
+	}
+	p.family("msoc_worker_transitions_total", "Fleet lifecycle transitions, by worker and target state (admission counts as a transition to healthy).", "counter")
+	trans := make([]workerTransition, 0, len(m.transitions))
+	for k := range m.transitions {
+		trans = append(trans, k)
+	}
+	sort.Slice(trans, func(a, b int) bool {
+		if trans[a].worker != trans[b].worker {
+			return trans[a].worker < trans[b].worker
+		}
+		return trans[a].to < trans[b].to
+	})
+	for _, k := range trans {
+		p.value("msoc_worker_transitions_total",
+			labels{"to", k.to, "worker", k.worker}, float64(m.transitions[k]))
+	}
+}
+
+// sortWorkerResults orders (worker, result) series for byte-stable
+// scrapes.
+func sortWorkerResults(series []workerResult) {
+	sort.Slice(series, func(a, b int) bool {
+		if series[a].worker != series[b].worker {
+			return series[a].worker < series[b].worker
+		}
+		return series[a].result < series[b].result
+	})
 }
 
 // labels is a flat key, value, key, value, … list; flat because every

@@ -198,6 +198,7 @@ func TestMetricsEndpointParsesAndCountersMove(t *testing.T) {
 // worker even before any sweep ran, so scrapers see the topology.
 func TestMetricsListsConfiguredWorkers(t *testing.T) {
 	s := New(Options{WorkerURLs: []string{"http://worker-a:8093/", "http://worker-b:8093"}})
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
@@ -207,5 +208,97 @@ func TestMetricsListsConfiguredWorkers(t *testing.T) {
 		if _, ok := series[key]; !ok {
 			t.Errorf("scrape missing %s", key)
 		}
+	}
+}
+
+// Fleet metrics under dynamic membership: admitting a worker makes its
+// series appear, eviction moves the state gauge without rewinding any
+// counter, and removal drops the live gauges while every counter the
+// worker ever incremented stays on the scrape.
+func TestMetricsTrackDynamicMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	worker := newWorker(t)
+	s, ts := newTestServer(t)
+
+	// Standalone server: no fleet series at all.
+	before := scrape(t, ts)
+	for key := range before {
+		if strings.HasPrefix(key, "msoc_worker_") || strings.HasPrefix(key, "msoc_fleet_") {
+			t.Errorf("standalone scrape already has fleet series %s", key)
+		}
+	}
+
+	// Admission via the API makes the worker's series appear.
+	if status, body := post(t, ts, "/v1/workers", WorkersUpdateRequest{Add: []string{worker.URL}}); status != http.StatusOK {
+		t.Fatalf("admit: status %d: %s", status, body)
+	}
+	admitted := scrape(t, ts)
+	stateKey := fmt.Sprintf(`msoc_worker_state{worker=%q}`, worker.URL)
+	capKey := fmt.Sprintf(`msoc_worker_capacity{worker=%q}`, worker.URL)
+	okKey := fmt.Sprintf(`msoc_worker_shards_total{result="ok",worker=%q}`, worker.URL)
+	if got := admitted[stateKey]; got != 1 {
+		t.Fatalf("state gauge after admission = %v, want 1 (healthy)", got)
+	}
+	if got := admitted[capKey]; got < 1 {
+		t.Errorf("capacity gauge after admission = %v, want >= 1", got)
+	}
+	if _, ok := admitted[okKey]; !ok {
+		t.Errorf("shards counter not pre-registered for admitted worker")
+	}
+	if got := admitted[`msoc_fleet_workers{state="healthy"}`]; got != 1 {
+		t.Errorf("fleet_workers{healthy} = %v, want 1", got)
+	}
+
+	// A sweep through the new member moves its shard counter.
+	if status, body := post(t, ts, "/v1/sweep", SweepRequest{Widths: []int{32}, WTs: []float64{0.5}}); status != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", status, body)
+	}
+	sweep := scrape(t, ts)
+	shardsOK := sweep[okKey]
+	if shardsOK < 1 {
+		t.Fatalf("shards{ok} = %v after a distributed sweep, want >= 1", shardsOK)
+	}
+
+	// Eviction (threshold consecutive failures) flips the gauges but
+	// must not rewind a single counter.
+	for i := 0; i < 3; i++ {
+		s.fleet.reportFailure(worker.URL, "induced for test")
+	}
+	evicted := scrape(t, ts)
+	if got := evicted[stateKey]; got != 3 {
+		t.Fatalf("state gauge after eviction = %v, want 3 (evicted)", got)
+	}
+	if got := evicted[`msoc_fleet_workers{state="evicted"}`]; got != 1 {
+		t.Errorf("fleet_workers{evicted} = %v, want 1", got)
+	}
+	if got := evicted[okKey]; got != shardsOK {
+		t.Fatalf("shards{ok} rewound across eviction: %v -> %v", shardsOK, got)
+	}
+	suspectKey := fmt.Sprintf(`msoc_worker_transitions_total{to="suspect",worker=%q}`, worker.URL)
+	evictedKey := fmt.Sprintf(`msoc_worker_transitions_total{to="evicted",worker=%q}`, worker.URL)
+	if evicted[suspectKey] != 1 || evicted[evictedKey] != 1 {
+		t.Errorf("transitions = {suspect: %v, evicted: %v}, want 1 each",
+			evicted[suspectKey], evicted[evictedKey])
+	}
+
+	// Removal drops the live gauges; the history counters stay.
+	if status, body := post(t, ts, "/v1/workers", WorkersUpdateRequest{Remove: []string{worker.URL}}); status != http.StatusOK {
+		t.Fatalf("remove: status %d: %s", status, body)
+	}
+	removed := scrape(t, ts)
+	if _, ok := removed[stateKey]; ok {
+		t.Errorf("state gauge survives removal")
+	}
+	if _, ok := removed[capKey]; ok {
+		t.Errorf("capacity gauge survives removal")
+	}
+	if got := removed[okKey]; got != shardsOK {
+		t.Errorf("shards{ok} after removal = %v, want %v (counters never rewind)", got, shardsOK)
+	}
+	if removed[suspectKey] != 1 || removed[evictedKey] != 1 {
+		t.Errorf("transition counters lost on removal: {suspect: %v, evicted: %v}",
+			removed[suspectKey], removed[evictedKey])
 	}
 }

@@ -66,33 +66,65 @@ type Options struct {
 	// coordinator: POST /v1/sweep fans round-robin shards out to these
 	// base URLs (each another msoc-serve exposing POST /v1/shard) and
 	// merges the partials. Plan requests and /v1/shard still run
-	// in-process.
+	// in-process. Workers may also arrive from WorkerFile and from
+	// POST /v1/workers at runtime.
 	WorkerURLs []string
+	// WorkerFile names a watched worker membership file (one base URL
+	// per line, # comments): it is read at startup and re-read every
+	// probe interval; file-sourced workers dropped from the file leave
+	// the fleet.
+	WorkerFile string
 	// ShardTimeout is the coordinator's per-shard-attempt deadline; a
 	// worker that has not answered within it is abandoned and the shard
 	// reassigned. Default 60s (always additionally capped by the
 	// request's own deadline).
 	ShardTimeout time.Duration
 	// ShardAttempts bounds how many workers one shard is offered to
-	// before the sweep fails; attempts walk the worker list round-robin
-	// from the shard's home worker. Default (and cap-free maximum
-	// sensible value): len(WorkerURLs).
+	// before the sweep fails; attempts walk the fleet's current members
+	// (healthiest first) from the shard's home worker. Default: every
+	// current member once.
 	ShardAttempts int
+	// RetryBackoff is the base wait between one shard's attempts,
+	// doubling per retry (capped); it keeps a flapping fleet from being
+	// hammered with instant reassignments. Default 250ms.
+	RetryBackoff time.Duration
+	// ProbeInterval is the period of the fleet's background /healthz
+	// probes (and of worker-file re-reads). Default 5s.
+	ProbeInterval time.Duration
+	// ProbeTimeout is the per-probe deadline. Default 2s.
+	ProbeTimeout time.Duration
+	// ProbeFailureThreshold is how many consecutive failures (probes or
+	// shards) evict a worker; the first failure already marks it
+	// suspect. Default 3.
+	ProbeFailureThreshold int
+	// ReadmitBackoff is the initial wait before an evicted worker is
+	// re-probed for re-admission, doubling per failed re-probe (capped
+	// at 256x). Default 15s.
+	ReadmitBackoff time.Duration
+	// Logf receives the fleet's structured transition log lines (worker
+	// admitted/suspect/evicted/re-admitted/removed); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server answers planning requests over HTTP; build with New, mount
-// via Handler.
+// via Handler, and Close when done to stop the fleet's probe loop.
 type Server struct {
-	engine  *core.Engine
-	sem     chan struct{}
-	timeout time.Duration
-	coord   *coordinator
-	metrics *metricsRegistry
+	engine   *core.Engine
+	sem      chan struct{}
+	timeout  time.Duration
+	capacity int // resolved CPU budget, advertised via /healthz
+	fleet    *fleet
+	coord    *coordinator
+	metrics  *metricsRegistry
 }
 
 // New builds a server: it resolves the option defaults, splits the CPU
 // budget across the concurrency bound, and (when Options.Engine is
 // nil) creates an engine whose planners each use one slot's share.
+// Every server owns a worker fleet — usually empty, in which case it
+// serves standalone; seeding it via Options.WorkerURLs/WorkerFile or
+// growing it through POST /v1/workers makes the server a
+// distributed-sweep coordinator.
 func New(opts Options) *Server {
 	workers := opts.Workers
 	if workers < 1 {
@@ -115,19 +147,29 @@ func New(opts Options) *Server {
 		engine = core.NewEngine(core.EngineOptions{Workers: inner})
 	}
 	s := &Server{
-		engine:  engine,
-		sem:     make(chan struct{}, maxConc),
-		timeout: timeout,
-		metrics: newMetricsRegistry(maxConc),
+		engine:   engine,
+		sem:      make(chan struct{}, maxConc),
+		timeout:  timeout,
+		capacity: workers,
+		metrics:  newMetricsRegistry(maxConc),
 	}
-	if len(opts.WorkerURLs) > 0 {
-		s.coord = newCoordinator(opts, s.metrics)
-	}
+	client := &http.Client{Transport: newFleetTransport()}
+	s.fleet = newFleet(opts, s.metrics, client, opts.Logf)
+	s.coord = newCoordinator(opts, s.fleet, client, s.metrics)
+	s.fleet.ensureProbing()
 	return s
 }
 
 // Engine returns the engine the server plans with.
 func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Close stops the server's background work — the fleet's probe loop
+// and the shared transport's idle connections. In-flight requests are
+// unaffected (the HTTP server's own Shutdown drains those).
+func (s *Server) Close() {
+	s.fleet.close()
+	s.coord.client.CloseIdleConnections()
+}
 
 // Handler returns the server's HTTP routes, each instrumented with the
 // per-endpoint request and latency counters /metrics exposes.
@@ -137,12 +179,42 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
 	mux.Handle("GET /v1/designs", s.instrument("/v1/designs", s.handleDesigns))
+	mux.Handle("GET /v1/workers", s.instrument("/v1/workers", s.handleWorkersGet))
+	mux.Handle("POST /v1/workers", s.instrument("/v1/workers", s.handleWorkersPost))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.Handle("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
-	}))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	return mux
+}
+
+// handleHealthz answers the liveness probe with the worker's advertised
+// capacity — its total CPU budget (the SplitWorkers pool) — which a
+// coordinator's fleet probes read to weight shard assignment.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeResponse(w, &HealthResponse{OK: true, Capacity: s.capacity, MaxConcurrent: cap(s.sem)})
+}
+
+// handleWorkersGet answers GET /v1/workers with the fleet's live
+// membership and per-worker lifecycle state.
+func (s *Server) handleWorkersGet(w http.ResponseWriter, r *http.Request) {
+	writeResponse(w, &WorkersResponse{Workers: s.fleet.snapshot()})
+}
+
+// handleWorkersPost applies a membership change (add/remove worker base
+// URLs) and answers with the resulting fleet state.
+func (s *Server) handleWorkersPost(w http.ResponseWriter, r *http.Request) {
+	var req WorkersUpdateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		writeError(w, badRequestf("nothing to do: give add and/or remove worker URLs"))
+		return
+	}
+	if err := s.fleet.update(req.Add, req.Remove); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResponse(w, &WorkersResponse{Workers: s.fleet.snapshot()})
 }
 
 // requestCtx derives the request's planning context: the client's
@@ -315,8 +387,11 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 	}
 	defer release()
 
-	if s.coord != nil && !req.WarmStart && sp.distributable() {
-		return s.coord.sweep(ctx, sp, req)
+	if !req.WarmStart && sp.distributable() {
+		if resp, distributed, err := s.coord.sweep(ctx, sp, req); distributed {
+			return resp, err
+		}
+		// distributed == false: the fleet is empty, sweep in-process.
 	}
 	points, err := s.engine.Sweep(ctx, sp.design, sp.widths, sp.weights, core.SweepOptions{
 		Exhaustive: req.Exhaustive,
@@ -422,15 +497,11 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics renders the Prometheus text-format scrape surface:
 // engine cache counters, worker-pool saturation, per-endpoint request
-// counts and latencies, and (on a coordinator) per-worker shard
-// outcomes.
+// counts and latencies, and (on a coordinator) the fleet's per-worker
+// lifecycle gauges and shard/probe/transition counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var workers []string
-	if s.coord != nil {
-		workers = s.coord.workers
-	}
-	s.metrics.render(w, s.engine.Metrics(), workers)
+	s.metrics.render(w, s.engine.Metrics(), s.fleet.snapshot())
 }
 
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {

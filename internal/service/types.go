@@ -152,6 +152,61 @@ type WorkerFailure struct {
 	Error string `json:"error"`
 }
 
+// HealthResponse is the body of GET /healthz. Beyond liveness it
+// advertises the server's planning capacity, which a coordinator's
+// fleet probes read to weight shard assignment across workers.
+type HealthResponse struct {
+	// OK is true on a live server.
+	OK bool `json:"ok"`
+	// Capacity is the server's total CPU budget (the resolved -workers
+	// value, i.e. its SplitWorkers pool size).
+	Capacity int `json:"capacity"`
+	// MaxConcurrent is the server's planning-request concurrency bound.
+	MaxConcurrent int `json:"max_concurrent"`
+}
+
+// WorkerInfo is one fleet member's live lifecycle state, as reported by
+// GET /v1/workers and POST /v1/workers.
+type WorkerInfo struct {
+	// URL is the worker's normalized base URL (the fleet key).
+	URL string `json:"url"`
+	// State is the lifecycle state: "healthy", "suspect" or "evicted".
+	State string `json:"state"`
+	// Source records how the worker joined: "static" (-worker-urls),
+	// "file" (-worker-file) or "api" (POST /v1/workers).
+	Source string `json:"source"`
+	// Capacity is the worker's advertised CPU budget (1 until the first
+	// successful probe reports a real value); shard assignment is
+	// weighted by it.
+	Capacity int `json:"capacity"`
+	// ConsecutiveFailures counts probe/shard failures since the last
+	// success; reaching the threshold evicts the worker.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastError is the most recent failure's description; empty after a
+	// success.
+	LastError string `json:"last_error,omitempty"`
+	// LastOK is the RFC 3339 time of the last successful probe or shard;
+	// empty before the first.
+	LastOK string `json:"last_ok,omitempty"`
+}
+
+// WorkersResponse is the body of GET /v1/workers and of a successful
+// POST /v1/workers: the fleet's membership in admission order.
+type WorkersResponse struct {
+	// Workers lists every fleet member's live state.
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// WorkersUpdateRequest is the body of POST /v1/workers: a membership
+// change. Adds are applied before removes; adding a known URL or
+// removing an unknown one is a no-op.
+type WorkersUpdateRequest struct {
+	// Add lists worker base URLs to admit (absolute http(s) URLs).
+	Add []string `json:"add,omitempty"`
+	// Remove lists worker base URLs to drop from the fleet.
+	Remove []string `json:"remove,omitempty"`
+}
+
 // DesignsResponse is the body of GET /v1/designs: the engine's live
 // cache sessions and its cache-efficiency counters.
 type DesignsResponse struct {
