@@ -6,6 +6,7 @@
 //
 //	msoc-plan [-soc file.soc] [-width 32] [-wt 0.5] [-exhaustive] [-gantt] [-json]
 //	          [-sweep [-widths 32,40,48,56,64] [-wts 0.5,0.25,0.75]]
+//	          [-server http://host:8093 [-poll 500ms]]
 //
 // Without -soc the embedded p93791m benchmark is used (the paper's
 // experimental SOC). With -soc, the digital SOC is read from the file
@@ -19,17 +20,31 @@
 // POST /v1/sweep of the same grid, whether the answering server plans
 // in-process or coordinates the sweep across distributed workers (the
 // distributed-smoke CI job diffs exactly that).
+//
+// With -server and -sweep the CLI becomes a durable-job client: the
+// grid is submitted to the server's POST /v1/sweeps, the job is polled
+// every -poll until it finishes (progress on stderr), and the result
+// bytes — identical to a synchronous POST /v1/sweep and to the local
+// -json -sweep output — are printed to stdout. The job survives the
+// client: interrupt msoc-plan and re-run the same command to reattach
+// (identical submissions dedupe onto the existing job), and a server
+// started with -job-dir even survives its own crash mid-sweep.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mixsoc"
 	"mixsoc/internal/core"
@@ -50,6 +65,8 @@ func main() {
 	widthsFlag := flag.String("widths", "32,40,48,56,64", "comma-separated TAM widths for -sweep")
 	wtsFlag := flag.String("wts", "0.5,0.25,0.75", "comma-separated test-time weights wT for -sweep")
 	jsonOut := flag.Bool("json", false, "print the plan (or, with -sweep, the sweep) as the serving layer's JSON (byte-identical to msoc-serve)")
+	server := flag.String("server", "", "msoc-serve base URL; with -sweep, submit the grid as a durable job (POST /v1/sweeps), poll it, and print the result JSON")
+	pollEvery := flag.Duration("poll", 500*time.Millisecond, "job status poll period for -server")
 	flag.Parse()
 
 	design := mixsoc.P93791M()
@@ -66,6 +83,10 @@ func main() {
 		design = &mixsoc.Design{Name: soc.Name + "-m", Digital: soc, Analog: mixsoc.PaperAnalogCores()}
 	}
 
+	if *server != "" && !*sweep {
+		log.Fatal("-server needs -sweep: only sweeps run as durable jobs")
+	}
+
 	if *sweep {
 		widths, err := parseInts(*widthsFlag)
 		if err != nil {
@@ -74,6 +95,10 @@ func main() {
 		wts, err := parseFloats(*wtsFlag)
 		if err != nil {
 			log.Fatalf("-wts: %v", err)
+		}
+		if *server != "" {
+			runServerSweep(*server, design, *socPath != "", widths, wts, *exhaustive, *pollEvery)
+			return
 		}
 		if *jsonOut {
 			printSweepJSON(design, *socPath != "", widths, wts, *exhaustive)
@@ -225,6 +250,78 @@ func printJSON(design *mixsoc.Design, inline bool, width int, wt float64, exhaus
 	if err := service.WriteJSON(os.Stdout, resp); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runServerSweep is the durable-job client: submit the grid to the
+// server's POST /v1/sweeps (identical re-submissions reattach to the
+// existing job), poll until the job is terminal, and print the result
+// bytes — the same bytes -json -sweep prints locally — to stdout.
+func runServerSweep(server string, design *mixsoc.Design, inline bool, widths []int, wts []float64, exhaustive bool, pollEvery time.Duration) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive}
+	if inline {
+		data, err := core.MarshalDesign(design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Design = data
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(server+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := decodeJob(resp)
+	log.Printf("job %s: %s (%d/%d shards)", job.ID, job.State, job.ShardsDone, job.ShardsTotal)
+
+	for job.State == service.JobStateRunning {
+		time.Sleep(pollEvery)
+		statusResp, err := http.Get(server + "/v1/sweeps/" + job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		next := decodeJob(statusResp)
+		if next.ShardsDone != job.ShardsDone || next.State != job.State {
+			log.Printf("job %s: %s (%d/%d shards)", next.ID, next.State, next.ShardsDone, next.ShardsTotal)
+		}
+		job = next
+	}
+	if job.State != service.JobStateDone {
+		log.Fatalf("job %s %s: %s", job.ID, job.State, job.Error)
+	}
+
+	result, err := http.Get(server + "/v1/sweeps/" + job.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer result.Body.Close()
+	if result.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(result.Body)
+		log.Fatalf("fetching result: status %d: %s", result.StatusCode, msg)
+	}
+	if _, err := io.Copy(os.Stdout, result.Body); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// decodeJob reads one job-status response, treating anything but the
+// submit/poll success codes (202 created, 200 existing) as fatal.
+func decodeJob(resp *http.Response) *service.JobResponse {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("job request failed: status %d: %s", resp.StatusCode, body)
+	}
+	var jr service.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		log.Fatalf("job response not JSON: %v: %s", err, body)
+	}
+	return &jr
 }
 
 // printSweepJSON is printJSON for -sweep: the serving layer's own sweep

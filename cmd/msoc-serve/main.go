@@ -11,17 +11,22 @@
 //	           [-shard-timeout 60s] [-shard-retries N] [-retry-backoff 250ms]
 //	           [-probe-interval 5s] [-probe-timeout 2s] [-probe-failures 3]
 //	           [-readmit-backoff 15s]
+//	           [-job-dir /var/lib/msoc/jobs] [-job-retention 24h]
 //
 // Endpoints:
 //
-//	POST /v1/plan     {"width":32,"wt":0.5[,"exhaustive":true][,"design":{...}]}
-//	POST /v1/sweep    {"widths":[32,48,64],"wts":[0.5,0.25][,"warm_start":true]}
-//	POST /v1/shard    one round-robin shard of a sweep (what coordinators send)
-//	GET  /v1/designs  live cache sessions + cache-hit metrics
-//	GET  /v1/workers  fleet membership and per-worker lifecycle state
-//	POST /v1/workers  add/remove workers at runtime
-//	GET  /metrics     Prometheus text-format scrape surface
-//	GET  /healthz     liveness probe (reports planning capacity)
+//	POST /v1/plan              {"width":32,"wt":0.5[,"exhaustive":true][,"design":{...}]}
+//	POST /v1/sweep             {"widths":[32,48,64],"wts":[0.5,0.25][,"warm_start":true]}
+//	POST /v1/shard             one round-robin shard of a sweep (what coordinators send)
+//	POST /v1/sweeps            submit a sweep as a durable async job; returns its ID
+//	GET  /v1/sweeps/{id}        job status with per-shard progress
+//	GET  /v1/sweeps/{id}/result the finished job's SweepResponse (bytes == POST /v1/sweep)
+//	GET  /v1/sweeps/{id}/events NDJSON stream of shard partials, then the terminal state
+//	GET  /v1/designs           live cache sessions + cache-hit metrics
+//	GET  /v1/workers           fleet membership and per-worker lifecycle state
+//	POST /v1/workers           add/remove workers at runtime
+//	GET  /metrics              Prometheus text-format scrape surface
+//	GET  /healthz              liveness probe (reports planning capacity)
 //
 // With -worker-urls and/or -worker-file the server runs as a
 // distributed-sweep *coordinator*: POST /v1/sweep is partitioned into
@@ -35,6 +40,17 @@
 // may join or leave at runtime through POST /v1/workers or by editing
 // the watched -worker-file. Workers are plain msoc-serve processes;
 // nothing distinguishes them except receiving /v1/shard traffic.
+//
+// With -job-dir, POST /v1/sweeps jobs become *durable*: every completed
+// shard is checkpointed to <job-dir>/<id>/ as it lands, and a restarted
+// server with the same -job-dir recovers every job — finished results
+// serve verbatim, interrupted jobs re-verify their surviving
+// checkpoints and re-run only the missing shards, converging to the
+// same bytes an undisturbed sweep would have produced. Identical
+// re-submissions return the existing job's ID (the ID is derived from
+// the request content, so dedupe also survives restarts). -job-retention
+// bounds how long terminal jobs are kept before garbage collection;
+// 0 keeps them forever.
 //
 // SIGTERM/SIGINT triggers a graceful shutdown: the listener closes,
 // in-flight plans and sweeps get up to -drain to finish, and the
@@ -94,6 +110,8 @@ func run(args []string, sigs <-chan os.Signal, ready chan<- string) error {
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe /healthz deadline")
 	probeFailures := fs.Int("probe-failures", 3, "consecutive probe/shard failures before a worker is evicted (the first failure marks it suspect)")
 	readmitBackoff := fs.Duration("readmit-backoff", 15*time.Second, "initial wait before an evicted worker is re-probed for re-admission, doubling per failed re-probe")
+	jobDir := fs.String("job-dir", "", "directory for durable async sweep jobs (POST /v1/sweeps); empty keeps jobs in memory only")
+	jobRetention := fs.Duration("job-retention", 0, "how long finished/failed jobs are kept before garbage collection; 0 = forever")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +135,8 @@ func run(args []string, sigs <-chan os.Signal, ready chan<- string) error {
 		ProbeTimeout:          *probeTimeout,
 		ProbeFailureThreshold: *probeFailures,
 		ReadmitBackoff:        *readmitBackoff,
+		JobDir:                *jobDir,
+		JobRetention:          *jobRetention,
 		Logf:                  log.Printf,
 	})
 	defer srv.Close()
@@ -142,6 +162,13 @@ func run(args []string, sigs <-chan os.Signal, ready chan<- string) error {
 	if len(urls) > 0 || *workerFile != "" {
 		log.Printf("coordinating sweeps across a live fleet (urls=%d, file=%q, probe every %s, evict after %d failures, re-admit backoff %s)",
 			len(urls), *workerFile, *probeInterval, *probeFailures, *readmitBackoff)
+	}
+	if *jobDir != "" {
+		retention := "forever"
+		if *jobRetention > 0 {
+			retention = jobRetention.String()
+		}
+		log.Printf("durable jobs in %s (retention %s)", *jobDir, retention)
 	}
 	log.Printf("serving on %s (workers %d, max-concurrent %d, timeout %s)",
 		ln.Addr(), effectiveWorkers(*workers), *maxConcurrent, *timeout)

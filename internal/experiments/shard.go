@@ -11,10 +11,13 @@ package experiments
 // -merge; CI runs a 2-way sharded grid as a matrix job.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"slices"
 
 	"mixsoc/internal/core"
@@ -197,10 +200,15 @@ type CurveSample struct {
 // and still merge bit-identically (golden_test.go enforces the round
 // trip through JSON).
 type ShardResult struct {
-	Shard   int      `json:"shard"`
-	Of      int      `json:"of"`
-	Grid    Grid     `json:"grid"`
-	CellIDs []CellID `json:"cell_ids"`
+	Shard int  `json:"shard"`
+	Of    int  `json:"of"`
+	Grid  Grid `json:"grid"`
+	// DesignHash is the content hash (core.DesignHash) of the design
+	// the shard was computed on; Merge refuses to combine parts whose
+	// hashes disagree. Empty in files written before the field existed,
+	// which Merge tolerates (no cross-check possible).
+	DesignHash string   `json:"design_hash,omitempty"`
+	CellIDs    []CellID `json:"cell_ids"`
 
 	// Table3 holds the shard's Table 3 width columns (Widths is the
 	// subset this shard owns); nil when the shard has no Table 3 cells.
@@ -236,8 +244,12 @@ func RunShardContext(ctx context.Context, d *core.Design, g Grid, shard, of int)
 	if d == nil {
 		d = Design()
 	}
+	hash, err := core.DesignHash(d)
+	if err != nil {
+		return nil, err
+	}
 
-	res := &ShardResult{Shard: shard, Of: of, Grid: g, CellIDs: make([]CellID, 0, len(cells))}
+	res := &ShardResult{Shard: shard, Of: of, Grid: g, DesignHash: hash, CellIDs: make([]CellID, 0, len(cells))}
 	var t3Widths, curveWidths []int
 	t4Cells := make(map[CellID]bool)
 	for _, c := range cells {
@@ -304,6 +316,20 @@ func Merge(parts ...*ShardResult) (*GridResult, error) {
 	for i, p := range parts[1:] {
 		if !p.Grid.Equal(g) {
 			return nil, fmt.Errorf("experiments: merge part %d (shard %d/%d) belongs to a different grid", i+1, p.Shard, p.Of)
+		}
+	}
+	// Parts carrying a design hash must agree on it — partials of two
+	// different designs must never combine into one table. Hash-less
+	// parts (files from before the field existed) cannot be checked.
+	hash := ""
+	for _, p := range parts {
+		switch {
+		case p.DesignHash == "":
+		case hash == "":
+			hash = p.DesignHash
+		case p.DesignHash != hash:
+			return nil, fmt.Errorf("experiments: merge parts disagree on the design hash (%s vs %s from shard %d/%d)",
+				hash, p.DesignHash, p.Shard, p.Of)
 		}
 	}
 
@@ -465,29 +491,138 @@ type t3ColumnRef struct {
 	col  int
 }
 
-// WriteShardFile writes a shard result as indented JSON, the on-disk
-// interchange format of a distributed grid run (what msoc-bench -shard
-// emits and -merge consumes).
-func WriteShardFile(path string, r *ShardResult) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// ReadShardFile reads a shard result written by WriteShardFile.
-func ReadShardFile(path string) (*ShardResult, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var r ShardResult
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+// Validate checks a shard result's internal consistency — the checks a
+// partial that crossed a process boundary (a file, a checkpoint, an
+// HTTP body) must pass before anyone trusts it: a sane shard/of
+// geometry, a valid grid, duplicate-free declared cells, well-shaped
+// Table 3 columns, and an exact match between the declared CellIDs and
+// the cells actually carried (no cell declared twice, carried twice,
+// undeclared, or declared-but-missing). It is the loud-failure half of
+// the interchange contract: a truncated, tampered or hand-edited
+// partial must die here, never merge silently.
+func (r *ShardResult) Validate() error {
+	if r.Of < 1 || r.Shard < 0 || r.Shard >= r.Of {
+		return fmt.Errorf("experiments: shard %d/%d geometry out of range", r.Shard, r.Of)
 	}
 	if err := r.Grid.Validate(); err != nil {
+		return err
+	}
+	declared := make(map[CellID]bool, len(r.CellIDs))
+	for _, id := range r.CellIDs {
+		if declared[id] {
+			return fmt.Errorf("experiments: shard %d/%d declares cell %s twice", r.Shard, r.Of, id)
+		}
+		declared[id] = true
+	}
+	if r.Table3 != nil {
+		if err := checkTable3Shape(r); err != nil {
+			return err
+		}
+	}
+	carried := make(map[CellID]bool, len(r.CellIDs))
+	carry := func(id CellID) error {
+		if carried[id] {
+			return fmt.Errorf("experiments: shard %d/%d carries duplicate results for cell %s", r.Shard, r.Of, id)
+		}
+		if !declared[id] {
+			return fmt.Errorf("experiments: shard %d/%d carries undeclared cell %s", r.Shard, r.Of, id)
+		}
+		carried[id] = true
+		return nil
+	}
+	if r.Table3 != nil {
+		for _, w := range r.Table3.Widths {
+			if err := carry(table3CellID(w)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range r.Table4 {
+		if err := carry(table4CellID(c.Width, c.Weights)); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Curve {
+		if err := carry(curveCellID(s.Width)); err != nil {
+			return err
+		}
+	}
+	for _, id := range r.CellIDs {
+		if !carried[id] {
+			return fmt.Errorf("experiments: shard %d/%d declares cell %s but carries no result for it", r.Shard, r.Of, id)
+		}
+	}
+	return nil
+}
+
+// WriteShardFile writes a shard result as indented JSON, the on-disk
+// interchange format of a distributed grid run (what msoc-bench -shard
+// emits, -merge consumes, and the serving layer's durable job store
+// builds its checkpoints on). The write is atomic (WriteJSONFile), so
+// a crash mid-checkpoint never leaves a torn partial.
+func WriteShardFile(path string, r *ShardResult) error {
+	return WriteJSONFile(path, r)
+}
+
+// ReadShardFile reads a shard result written by WriteShardFile,
+// rejecting hostile or damaged inputs loudly: zero-length files,
+// truncated or malformed JSON, invalid grids, and partials whose
+// declared and carried cells disagree or duplicate (Validate).
+func ReadShardFile(path string) (*ShardResult, error) {
+	var r ShardResult
+	if err := ReadJSONFile(path, &r); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &r, nil
+}
+
+// WriteJSONFile writes v as indented JSON with a trailing newline to
+// path, atomically: the bytes land in a temp file in the same
+// directory which is then renamed over path, so a crash mid-write can
+// never leave a torn, half-written file behind. This is the durability
+// discipline the shard interchange and the serving layer's job
+// checkpoints share.
+func WriteJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cerr, os.Chmod(tmp.Name(), 0o644)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadJSONFile reads a JSON file written by WriteJSONFile into v. It
+// fails loudly on empty (zero-byte or whitespace-only) files — the
+// tell-tale of a torn write on filesystems without atomic rename — and
+// on malformed JSON, always naming the offending path.
+func ReadJSONFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return fmt.Errorf("%s: empty file", path)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -255,6 +257,133 @@ func requireTable4Bits(t *testing.T, got, want *Table4Result) {
 			g.Optimal != w.Optimal {
 			t.Errorf("cell %d (W=%d, wT=%v): merged %+v diverged from unsharded %+v", i, w.Width, w.Weights.Time, g, w)
 		}
+	}
+}
+
+// TestReadShardFileHostileInputs feeds the on-disk interchange the
+// damaged partials a crashed or hostile producer could leave behind —
+// zero-length files, truncated JSON, duplicate cells, mismatched
+// declarations — and demands every one fails loudly at read time,
+// never surviving into a silent merge. Design-hash disagreement is the
+// one check only Merge can make (a single file has nothing to compare
+// against), so it is asserted there.
+func TestReadShardFileHostileInputs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	g := Grid{CurveWidths: []int{8, 16}}
+	good := &ShardResult{Shard: 0, Of: 1, Grid: g, DesignHash: "aaaa",
+		CellIDs: []CellID{curveCellID(8), curveCellID(16)},
+		Curve:   []CurveSample{{Width: 8, Cycles: 100}, {Width: 16, Cycles: 50}}}
+	goodPath := filepath.Join(dir, "good.json")
+	if err := WriteShardFile(goodPath, good); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardFile(goodPath); err != nil {
+		t.Fatalf("pristine shard file rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		path string
+		want string // substring the error must carry
+	}{
+		{"zero-length file", write("empty.json", ""), "empty file"},
+		{"whitespace-only file", write("blank.json", " \n\t"), "empty file"},
+		{"truncated JSON", write("truncated.json", string(goodBytes[:len(goodBytes)/2])), "unexpected end"},
+		{"not JSON at all", write("garbage.json", "certainly not JSON"), "invalid character"},
+		{"bad shard geometry", write("geometry.json",
+			`{"shard":3,"of":2,"grid":{"curve_widths":[8]},"cell_ids":["widthcurve/W=8"],"curve":[{"width":8,"cycles":1}]}`),
+			"geometry out of range"},
+		{"empty grid", write("nogrid.json", `{"shard":0,"of":1,"grid":{},"cell_ids":[]}`), "empty grid"},
+		{"duplicate declared cell", write("dupdecl.json",
+			`{"shard":0,"of":1,"grid":{"curve_widths":[8]},"cell_ids":["widthcurve/W=8","widthcurve/W=8"],"curve":[{"width":8,"cycles":1}]}`),
+			"declares cell widthcurve/W=8 twice"},
+		{"duplicate carried cell", write("dupcarry.json",
+			`{"shard":0,"of":1,"grid":{"curve_widths":[8]},"cell_ids":["widthcurve/W=8"],"curve":[{"width":8,"cycles":1},{"width":8,"cycles":2}]}`),
+			"duplicate results for cell widthcurve/W=8"},
+		{"undeclared carried cell", write("undeclared.json",
+			`{"shard":0,"of":1,"grid":{"curve_widths":[8,16]},"cell_ids":["widthcurve/W=8"],"curve":[{"width":8,"cycles":1},{"width":16,"cycles":2}]}`),
+			"undeclared cell"},
+		{"declared but missing cell", write("hollow.json",
+			`{"shard":0,"of":1,"grid":{"curve_widths":[8]},"cell_ids":["widthcurve/W=8"]}`),
+			"no result"},
+		{"malformed Table 3 column", write("badt3.json",
+			`{"shard":0,"of":1,"grid":{"table3_widths":[32]},"cell_ids":["table3/W=32"],"table3":{"Widths":[32]}}`),
+			"malformed"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadShardFile(tc.path); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Wrong design hash: each file is internally consistent, so the
+	// mismatch can only surface — and must surface — when merging.
+	g2 := Grid{CurveWidths: []int{8, 16}}
+	p0 := &ShardResult{Shard: 0, Of: 2, Grid: g2, DesignHash: "aaaa",
+		CellIDs: []CellID{curveCellID(8)}, Curve: []CurveSample{{Width: 8, Cycles: 100}}}
+	p1 := &ShardResult{Shard: 1, Of: 2, Grid: g2, DesignHash: "bbbb",
+		CellIDs: []CellID{curveCellID(16)}, Curve: []CurveSample{{Width: 16, Cycles: 50}}}
+	for i, p := range []*ShardResult{p0, p1} {
+		path := filepath.Join(dir, fmt.Sprintf("hash%d.json", i))
+		if err := WriteShardFile(path, p); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if []*ShardResult{p0, p1}[i], err = ReadShardFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Merge(p0, p1); err == nil || !strings.Contains(err.Error(), "design hash") {
+		t.Errorf("design-hash mismatch not reported: %v", err)
+	}
+	// Hash-less legacy partials still merge with hashed ones.
+	legacy := &ShardResult{Shard: 1, Of: 2, Grid: g2,
+		CellIDs: []CellID{curveCellID(16)}, Curve: []CurveSample{{Width: 16, Cycles: 50}}}
+	if _, err := Merge(p0, legacy); err != nil {
+		t.Errorf("legacy hash-less partial rejected: %v", err)
+	}
+}
+
+// TestWriteJSONFileAtomic pins the interchange's durability discipline:
+// the write is temp-file-plus-rename, so the destination either holds
+// the complete previous content or the complete new content — never a
+// torn mix — and no temp litter survives a successful write.
+func TestWriteJSONFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := WriteJSONFile(path, map[string]int{"v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONFile(path, map[string]int{"v": 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if err := ReadJSONFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["v"] != 2 {
+		t.Fatalf("read back %v, want v=2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after two writes, want only the file itself", len(entries))
 	}
 }
 

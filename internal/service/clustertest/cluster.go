@@ -138,10 +138,11 @@ func (w *Worker) serveLocked(ln net.Listener) {
 // timings are compressed so probes, evictions, and re-admissions play
 // out in milliseconds.
 type Cluster struct {
-	t       *testing.T
-	Workers []*Worker
-	Coord   *service.Server
-	Front   *httptest.Server // the coordinator's HTTP face
+	t         *testing.T
+	Workers   []*Worker
+	Coord     *service.Server
+	Front     *httptest.Server // the coordinator's HTTP face
+	coordOpts service.Options  // what the coordinator was built from, for restarts
 }
 
 // Timings are the compressed fleet timings every cluster coordinator
@@ -158,6 +159,15 @@ var Timings = service.Options{
 // New boots n workers and a coordinator over all of them. Every piece
 // is cleaned up through t.Cleanup.
 func New(t *testing.T, n int) *Cluster {
+	return NewWithCoordinator(t, n, nil)
+}
+
+// NewWithCoordinator boots n workers and a coordinator built from the
+// compressed Timings plus the caller's overrides (applied after the
+// worker URLs are filled in) — scenarios that need a job directory,
+// their own shard deadlines, or a single-attempt retry budget
+// configure them here.
+func NewWithCoordinator(t *testing.T, n int, configure func(*service.Options)) *Cluster {
 	t.Helper()
 	c := &Cluster{t: t}
 	for i := 0; i < n; i++ {
@@ -167,11 +177,43 @@ func New(t *testing.T, n int) *Cluster {
 	for _, w := range c.Workers {
 		opts.WorkerURLs = append(opts.WorkerURLs, w.URL())
 	}
-	c.Coord = service.New(opts)
-	t.Cleanup(c.Coord.Close)
-	c.Front = httptest.NewServer(c.Coord.Handler())
-	t.Cleanup(c.Front.Close)
+	if configure != nil {
+		configure(&opts)
+	}
+	c.startCoordinator(opts)
+	t.Cleanup(func() {
+		// Always the *current* coordinator; both closes are idempotent,
+		// so a scenario that already killed it is fine.
+		c.Front.Close()
+		c.Coord.Close()
+	})
 	return c
+}
+
+// startCoordinator boots (or re-boots) the coordinator from opts and
+// gives it a fresh HTTP front.
+func (c *Cluster) startCoordinator(opts service.Options) {
+	c.coordOpts = opts
+	c.Coord = service.New(opts)
+	c.Front = httptest.NewServer(c.Coord.Handler())
+}
+
+// KillCoordinator tears the coordinator down: its HTTP front closes
+// and Close cancels every detached job runner mid-shard — from a
+// durable job's point of view, a crash at a checkpoint boundary
+// (checkpoints already written stay on disk; nothing else does).
+func (c *Cluster) KillCoordinator() {
+	c.Front.Close()
+	c.Coord.Close()
+}
+
+// RestartCoordinator boots a fresh coordinator from the same options
+// the dead one had — same fleet, same job directory — which is where
+// durable-job recovery runs, exactly like a restarted msoc-serve
+// process. The front URL changes (a restarted process rarely keeps its
+// ephemeral port); reach it through c.Front as always.
+func (c *Cluster) RestartCoordinator() {
+	c.startCoordinator(c.coordOpts)
 }
 
 // AddWorker boots one serving worker without telling the coordinator —

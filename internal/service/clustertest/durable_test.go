@@ -1,0 +1,159 @@
+package clustertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"mixsoc/internal/service"
+)
+
+// pollJob fetches the durable job's status off the current coordinator
+// front, failing the test on anything but a 200.
+func pollJob(t *testing.T, c *Cluster, id string) *service.JobResponse {
+	t.Helper()
+	resp, err := http.Get(c.Front.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sweeps/%s: status %d: %s", id, resp.StatusCode, body)
+	}
+	var jr service.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	return &jr
+}
+
+// waitJob polls the job until the predicate holds, failing after the
+// deadline.
+func waitJob(t *testing.T, c *Cluster, id string, deadline time.Duration, ok func(*service.JobResponse) bool, what string) *service.JobResponse {
+	t.Helper()
+	timeout := time.After(deadline)
+	for {
+		jr := pollJob(t, c, id)
+		if ok(jr) {
+			return jr
+		}
+		select {
+		case <-timeout:
+			t.Fatalf("job %s: %s never happened within %v; last state: %+v", id, what, deadline, jr)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// The durable-job contract under the worst realistic failure: the
+// coordinator is killed mid-sweep — after some shards have checkpointed
+// but before others could run — and its replacement must recover the
+// job from disk, reuse the surviving checkpoints, re-run only the
+// missing shards, and serve a result byte-identical to an undisturbed
+// synchronous sweep. Identical re-submissions must keep landing on the
+// same job ID across the restart.
+func TestCoordinatorCrashResumeIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	want := Reference(t, chaosGrid)
+
+	jobDir := t.TempDir()
+	c := NewWithCoordinator(t, 2, func(o *service.Options) {
+		o.JobDir = jobDir
+		// A hung worker must pin its shard in-flight until the crash, not
+		// get rescued by a retry — the compressed 2s shard timeout is far
+		// too eager for that.
+		o.ShardTimeout = 60 * time.Second
+	})
+
+	// Worker B stalls: its shard will sit in-flight while worker A's
+	// shard completes and checkpoints.
+	c.Workers[1].Hang()
+
+	status, body := c.post("/v1/sweeps", chaosGrid)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	var jr service.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.ShardsTotal != 2 {
+		t.Fatalf("2-worker fleet split the job into %d shards, want 2", jr.ShardsTotal)
+	}
+
+	waitJob(t, c, jr.ID, time.Minute, func(j *service.JobResponse) bool {
+		return j.ShardsDone >= 1
+	}, "first shard checkpoint")
+
+	// Crash. Checkpoints written so far survive; everything else dies
+	// with the process.
+	c.KillCoordinator()
+	c.Workers[1].Unhang()
+	c.RestartCoordinator()
+
+	// Recovery: the job is already known to the fresh coordinator, so an
+	// identical submission dedupes onto it — the content-keyed ID is
+	// derived, not remembered, and survives the crash.
+	status, body = c.post("/v1/sweeps", chaosGrid)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart resubmission: status %d, want 200 dedupe: %s", status, body)
+	}
+	var dup service.JobResponse
+	if err := json.Unmarshal(body, &dup); err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != jr.ID {
+		t.Fatalf("post-restart resubmission minted job %s, want the crashed job %s", dup.ID, jr.ID)
+	}
+
+	final := waitJob(t, c, jr.ID, time.Minute, func(j *service.JobResponse) bool {
+		return j.State == service.JobStateDone
+	}, "recovery to done")
+	if !final.Recovered {
+		t.Error("resumed job not flagged recovered")
+	}
+	var recoveredShards int
+	for _, sh := range final.Shards {
+		if sh.Recovered {
+			recoveredShards++
+		}
+	}
+	if recoveredShards == 0 {
+		t.Error("no shard flagged recovered; the pre-crash checkpoint was not reused")
+	}
+	if recoveredShards == final.ShardsTotal {
+		t.Error("every shard flagged recovered; the crash should have left at least one to re-run")
+	}
+
+	// The payoff: bytes identical to an undisturbed sweep.
+	resp, err := http.Get(c.Front.URL + "/v1/sweeps/" + jr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result after recovery: status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("crash-resumed result differs from the in-process reference (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The replacement coordinator did real work: the formerly hung
+	// worker served its shard after the restart.
+	if c.ShardsServed(c.Workers[1]) == 0 {
+		t.Error("worker B served no shards after restart; its missing shard was not re-run on it")
+	}
+}

@@ -48,6 +48,22 @@ import (
 // coordinator reads back into a WorkerFailure.
 const maxWorkerErrorBytes = 4 << 10
 
+// shardReplyAllowancePerCell sizes the coordinator's read bound on a
+// worker's shard reply: a solved grid point marshals to a few KB
+// (dominated by the per-module wrapper assignments), so 16 KiB per
+// requested cell on top of the MaxRequestBytes floor admits every
+// legitimate reply while still bounding a misbehaving worker to a few
+// tens of MB on the largest permissible grids.
+const shardReplyAllowancePerCell = 16 << 10
+
+// shardReplyLimit is the most bytes the coordinator will read of a
+// reply carrying `cells` grid points before abandoning the worker —
+// the fan-in mirror of the service's own MaxRequestBytes request cap,
+// so a worker cannot balloon the coordinator's memory.
+func shardReplyLimit(cells int) int64 {
+	return int64(MaxRequestBytes) + int64(cells)*shardReplyAllowancePerCell
+}
+
 // retryBackoffCap bounds the doubling retry backoff at this many times
 // the base Options.RetryBackoff.
 const retryBackoffCap = 8
@@ -246,7 +262,7 @@ func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequ
 				return nil, failures, err
 			}
 		}
-		resp, failure := c.post(ctx, worker, shard, body, sp, want)
+		resp, failure := c.post(ctx, worker, shard, of, body, sp, want)
 		if failure == nil {
 			c.fleet.reportSuccess(worker, 0)
 			return resp, failures, nil
@@ -268,7 +284,7 @@ func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequ
 // point's grid coordinate (want holds the shard's dense cell indices)
 // — so a contract violation is an ordinary worker failure the caller
 // reassigns, with the drifted worker named in the detail.
-func (c *coordinator) post(ctx context.Context, worker string, shard int, body []byte, sp *sweepSpec, want []int) (*ShardResponse, *WorkerFailure) {
+func (c *coordinator) post(ctx context.Context, worker string, shard, of int, body []byte, sp *sweepSpec, want []int) (*ShardResponse, *WorkerFailure) {
 	start := time.Now()
 	fail := func(result, format string, args ...any) *WorkerFailure {
 		c.metrics.observeShard(worker, result, time.Since(start))
@@ -294,15 +310,35 @@ func (c *coordinator) post(ctx context.Context, worker string, shard int, body [
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, maxWorkerErrorBytes))
 		return nil, fail(shardResultError, "status %d: %s", httpResp.StatusCode, strings.TrimSpace(string(msg)))
 	}
+	// Bound the reply read (the fan-in mirror of MaxRequestBytes): a
+	// worker streaming more than the shard could legitimately weigh is
+	// cut off mid-value, which surfaces here as a decode error and an
+	// ordinary reassignable failure — never an unbounded read.
 	var resp ShardResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return nil, fail(shardResultError, "decoding partial: %v", err)
+	if err := json.NewDecoder(io.LimitReader(httpResp.Body, shardReplyLimit(len(want)))).Decode(&resp); err != nil {
+		return nil, fail(shardResultError, "decoding partial (replies are capped at %d bytes): %v", shardReplyLimit(len(want)), err)
 	}
+	if err := verifyShardPartial(sp, shard, of, want, &resp); err != nil {
+		return nil, fail(shardResultError, "%v", err)
+	}
+	c.metrics.observeShard(worker, shardResultOK, time.Since(start))
+	return &resp, nil
+}
+
+// verifyShardPartial is the merge contract every shard partial must
+// pass before anyone trusts it, live or persisted: the design hash the
+// worker computed matches the coordinator's, the shard geometry and
+// point count match the round-robin slice (want holds the shard's
+// dense cell indices), and every point sits on its expected grid
+// coordinate. coordinator.post applies it to worker replies; job
+// recovery applies the identical check to checkpoints read back from
+// disk.
+func verifyShardPartial(sp *sweepSpec, shard, of int, want []int, resp *ShardResponse) error {
 	switch {
 	case resp.DesignHash != sp.hash:
-		return nil, fail(shardResultError, "merge conflict: worker hashed the design %s, coordinator %s", resp.DesignHash, sp.hash)
-	case resp.Shard != shard || len(resp.Points) != len(want):
-		return nil, fail(shardResultError, "merge conflict: got shard %d/%d with %d points, want shard %d with %d",
+		return fmt.Errorf("merge conflict: worker hashed the design %s, coordinator %s", resp.DesignHash, sp.hash)
+	case resp.Shard != shard || resp.Of != of || len(resp.Points) != len(want):
+		return fmt.Errorf("merge conflict: got shard %d/%d with %d points, want shard %d with %d",
 			resp.Shard, resp.Of, len(resp.Points), shard, len(want))
 	}
 	for j, pt := range resp.Points {
@@ -310,10 +346,9 @@ func (c *coordinator) post(ctx context.Context, worker string, shard int, body [
 		wantW := sp.widths[i%len(sp.widths)]
 		wantWt := sp.weights[i/len(sp.widths)]
 		if pt.Width != wantW || pt.Weights != wantWt {
-			return nil, fail(shardResultError, "merge conflict: point %d is (W=%d, wT=%v), want (W=%d, wT=%v)",
+			return fmt.Errorf("merge conflict: point %d is (W=%d, wT=%v), want (W=%d, wT=%v)",
 				j, pt.Width, pt.Weights.Time, wantW, wantWt.Time)
 		}
 	}
-	c.metrics.observeShard(worker, shardResultOK, time.Since(start))
-	return &resp, nil
+	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +29,21 @@ const (
 	shardResultOK      = "ok"
 	shardResultError   = "error"
 	shardResultTimeout = "timeout"
+)
+
+// The submission outcome labels of msoc_job_submissions_total.
+const (
+	jobSubmitAccepted = "accepted"
+	jobSubmitDeduped  = "deduped"
+	jobSubmitResumed  = "resumed"
+	jobSubmitRejected = "rejected"
+)
+
+// The shard event labels of msoc_job_shards_total.
+const (
+	jobShardCheckpointed = "checkpointed"
+	jobShardRecovered    = "recovered"
+	jobShardInvalid      = "invalid"
 )
 
 // durStat is a Prometheus summary without quantiles: total seconds and
@@ -71,6 +87,11 @@ type metricsRegistry struct {
 	shardDur    map[string]*durStat
 	transitions map[workerTransition]uint64
 	probes      map[workerResult]uint64
+	panics      uint64
+	jobSubmits  map[string]uint64
+	jobShards   map[string]uint64
+	jobFinished map[string]*durStat // by terminal state
+	recoveries  uint64
 }
 
 func newMetricsRegistry(capacity int) *metricsRegistry {
@@ -82,7 +103,56 @@ func newMetricsRegistry(capacity int) *metricsRegistry {
 		shardDur:    map[string]*durStat{},
 		transitions: map[workerTransition]uint64{},
 		probes:      map[workerResult]uint64{},
+		jobSubmits:  map[string]uint64{},
+		jobShards:   map[string]uint64{},
+		jobFinished: map[string]*durStat{},
 	}
+}
+
+// observePanic counts one handler panic recovered into a 500.
+func (m *metricsRegistry) observePanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// observeJobSubmission counts one POST /v1/sweeps outcome (accepted,
+// deduped, resumed, rejected).
+func (m *metricsRegistry) observeJobSubmission(result string) {
+	m.mu.Lock()
+	m.jobSubmits[result]++
+	m.mu.Unlock()
+}
+
+// observeJobShard counts one job shard event: a partial checkpointed
+// to disk, recovered from disk, or found invalid at recovery.
+func (m *metricsRegistry) observeJobShard(event string) {
+	m.mu.Lock()
+	m.jobShards[event]++
+	m.mu.Unlock()
+}
+
+// observeJobRecovery counts one job restored from the job directory at
+// boot.
+func (m *metricsRegistry) observeJobRecovery() {
+	m.mu.Lock()
+	m.recoveries++
+	m.mu.Unlock()
+}
+
+// observeJobFinished records one job reaching a terminal state with
+// its wall time in this process (a recovered job counts only the time
+// after the restart).
+func (m *metricsRegistry) observeJobFinished(state string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.jobFinished[state]
+	if s == nil {
+		s = &durStat{}
+		m.jobFinished[state] = s
+	}
+	s.sum += d.Seconds()
+	s.count++
 }
 
 // observeTransition counts one fleet state transition (admission counts
@@ -142,7 +212,11 @@ func (m *metricsRegistry) addInFlight(delta int) {
 }
 
 // instrument wraps a handler with the request count, latency and
-// in-flight bookkeeping for one endpoint label.
+// in-flight bookkeeping for one endpoint label, plus panic recovery: a
+// panicking handler becomes a structured 500 ErrorResponse (when
+// nothing was written yet) and an msoc_panics_total increment instead
+// of a torn connection. http.ErrAbortHandler — the deliberate
+// abort-this-connection sentinel — is re-raised untouched.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -152,31 +226,65 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 			s.metrics.addInFlight(-1)
 			s.metrics.observeHTTP(endpoint, rec.code, time.Since(start))
 		}()
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.metrics.observePanic()
+			s.logf("panic serving %s: %v\n%s", endpoint, v, debug.Stack())
+			if !rec.wrote {
+				writeStatus(rec, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
 		h(rec, r)
 	})
 }
 
 // statusRecorder captures the status code a handler wrote (200 when it
-// never called WriteHeader explicitly).
+// never called WriteHeader explicitly) and whether anything reached
+// the wire — the panic middleware only writes its 500 onto a pristine
+// response.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 // WriteHeader records the code and forwards it.
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write forwards the body bytes, noting that the response has begun
+// (an implicit 200 when WriteHeader was never called).
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards a streaming handler's flush to the underlying writer
+// when it supports one — the NDJSON job-event stream depends on this
+// passing through the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // render writes the whole scrape page. fleet is the coordinator's live
 // membership snapshot (empty on a standalone server): every member gets
 // a shards-total series even before its first attempt — scrapers see
 // the topology, not just the traffic — plus per-worker state and
-// capacity gauges. Worker-keyed counters outlive membership: a removed
-// or evicted worker's series keep their values, so counters never
-// rewind.
-func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []WorkerInfo) {
+// capacity gauges. jobs is the job manager's live state census. Worker-
+// keyed counters outlive membership: a removed or evicted worker's
+// series keep their values, so counters never rewind.
+func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []WorkerInfo, jobs map[string]int) {
 	p := &textfmt{w: w}
 
 	p.family("msoc_engine_designs", "Live design cache sessions in the planning engine.", "gauge")
@@ -223,6 +331,35 @@ func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []Wor
 		s := m.httpDur[ep]
 		p.value("msoc_http_request_duration_seconds_sum", labels{"endpoint", ep}, s.sum)
 		p.value("msoc_http_request_duration_seconds_count", labels{"endpoint", ep}, float64(s.count))
+	}
+
+	p.family("msoc_panics_total", "Handler panics recovered into structured 500 responses.", "counter")
+	p.value("msoc_panics_total", nil, float64(m.panics))
+
+	// Durable job families render with fixed label enumerations so the
+	// scrape page stays byte-stable while idle.
+	p.family("msoc_jobs", "Durable sweep jobs held by this server, by lifecycle state.", "gauge")
+	for _, state := range []string{JobStateDone, JobStateFailed, JobStateRunning} {
+		p.value("msoc_jobs", labels{"state", state}, float64(jobs[state]))
+	}
+	p.family("msoc_job_submissions_total", "POST /v1/sweeps submissions, by outcome (accepted, deduped, resumed, rejected).", "counter")
+	for _, result := range []string{jobSubmitAccepted, jobSubmitDeduped, jobSubmitRejected, jobSubmitResumed} {
+		p.value("msoc_job_submissions_total", labels{"result", result}, float64(m.jobSubmits[result]))
+	}
+	p.family("msoc_job_shards_total", "Durable job shard events: partials checkpointed to the job dir, recovered from it, or found invalid at recovery.", "counter")
+	for _, event := range []string{jobShardCheckpointed, jobShardInvalid, jobShardRecovered} {
+		p.value("msoc_job_shards_total", labels{"event", event}, float64(m.jobShards[event]))
+	}
+	p.family("msoc_job_recoveries_total", "Jobs restored from the job directory after a restart.", "counter")
+	p.value("msoc_job_recoveries_total", nil, float64(m.recoveries))
+	p.family("msoc_job_duration_seconds", "Wall time per finished job in this process, by terminal state.", "summary")
+	for _, state := range []string{JobStateDone, JobStateFailed} {
+		s := m.jobFinished[state]
+		if s == nil {
+			s = &durStat{}
+		}
+		p.value("msoc_job_duration_seconds_sum", labels{"state", state}, s.sum)
+		p.value("msoc_job_duration_seconds_count", labels{"state", state}, float64(s.count))
 	}
 
 	if len(fleet) == 0 && len(m.shards) == 0 && len(m.transitions) == 0 {

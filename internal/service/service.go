@@ -5,6 +5,13 @@
 //	POST /v1/sweep    solve a (widths × weights) grid
 //	POST /v1/shard    solve one round-robin shard of a sweep (worker half
 //	                  of a distributed sweep)
+//	POST /v1/sweeps   submit a durable async sweep job (deduped by
+//	                  content key; survives coordinator restarts when
+//	                  -job-dir is set)
+//	GET  /v1/sweeps/{id}         job status with per-shard progress
+//	GET  /v1/sweeps/{id}/result  finished job's bytes, identical to a
+//	                             synchronous POST /v1/sweep
+//	GET  /v1/sweeps/{id}/events  NDJSON stream of shard partials
 //	GET  /v1/designs  live cache sessions and cache-hit metrics
 //	GET  /metrics     Prometheus text-format scrape surface
 //
@@ -101,8 +108,20 @@ type Options struct {
 	// re-probed for re-admission, doubling per failed re-probe (capped
 	// at 256x). Default 15s.
 	ReadmitBackoff time.Duration
-	// Logf receives the fleet's structured transition log lines (worker
-	// admitted/suspect/evicted/re-admitted/removed); nil discards them.
+	// JobDir, when set, makes POST /v1/sweeps jobs durable: each
+	// completed shard is checkpointed under JobDir/<job-id>/ and a
+	// restarted server recovers every job from it, re-running only the
+	// missing shards. Empty keeps jobs in memory only (still async and
+	// deduplicated, but lost on restart).
+	JobDir string
+	// JobRetention, when positive, is how long a finished or failed
+	// job's state (and its JobDir checkpoints) is kept before a
+	// background sweep removes it; 0 keeps jobs forever.
+	JobRetention time.Duration
+	// Logf receives the server's structured log lines: fleet transitions
+	// (worker admitted/suspect/evicted/re-admitted/removed), durable-job
+	// checkpoint and recovery events, and recovered handler panics (with
+	// stack). Nil discards them.
 	Logf func(format string, args ...any)
 }
 
@@ -115,7 +134,9 @@ type Server struct {
 	capacity int // resolved CPU budget, advertised via /healthz
 	fleet    *fleet
 	coord    *coordinator
+	jobs     *jobManager
 	metrics  *metricsRegistry
+	logf     func(format string, args ...any)
 }
 
 // New builds a server: it resolves the option defaults, splits the CPU
@@ -146,27 +167,38 @@ func New(opts Options) *Server {
 	if engine == nil {
 		engine = core.NewEngine(core.EngineOptions{Workers: inner})
 	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	s := &Server{
 		engine:   engine,
 		sem:      make(chan struct{}, maxConc),
 		timeout:  timeout,
 		capacity: workers,
 		metrics:  newMetricsRegistry(maxConc),
+		logf:     logf,
 	}
 	client := &http.Client{Transport: newFleetTransport()}
 	s.fleet = newFleet(opts, s.metrics, client, opts.Logf)
 	s.coord = newCoordinator(opts, s.fleet, client, s.metrics)
 	s.fleet.ensureProbing()
+	// Last: job recovery resumes persisted sweeps through the fleet and
+	// coordinator built above.
+	s.jobs = newJobManager(s, opts.JobDir, opts.JobRetention, opts.Logf)
 	return s
 }
 
 // Engine returns the engine the server plans with.
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// Close stops the server's background work — the fleet's probe loop
-// and the shared transport's idle connections. In-flight requests are
-// unaffected (the HTTP server's own Shutdown drains those).
+// Close stops the server's background work — the job runners (whose
+// in-flight shards abort; completed checkpoints stay on disk as the
+// next process's resume point), the fleet's probe loop, and the shared
+// transport's idle connections. In-flight requests are unaffected (the
+// HTTP server's own Shutdown drains those).
 func (s *Server) Close() {
+	s.jobs.close()
 	s.fleet.close()
 	s.coord.client.CloseIdleConnections()
 }
@@ -178,6 +210,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
 	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
+	mux.Handle("POST /v1/sweeps", s.instrument("/v1/sweeps", s.handleJobSubmit))
+	mux.Handle("GET /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", s.handleJobStatus))
+	mux.Handle("GET /v1/sweeps/{id}/result", s.instrument("/v1/sweeps/{id}/result", s.handleJobResult))
+	mux.Handle("GET /v1/sweeps/{id}/events", s.instrument("/v1/sweeps/{id}/events", s.handleJobEvents))
 	mux.Handle("GET /v1/designs", s.instrument("/v1/designs", s.handleDesigns))
 	mux.Handle("GET /v1/workers", s.instrument("/v1/workers", s.handleWorkersGet))
 	mux.Handle("POST /v1/workers", s.instrument("/v1/workers", s.handleWorkersPost))
@@ -501,7 +537,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 // lifecycle gauges and shard/probe/transition counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, s.engine.Metrics(), s.fleet.snapshot())
+	s.metrics.render(w, s.engine.Metrics(), s.fleet.snapshot(), s.jobs.stateCounts())
 }
 
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
