@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	msoc-plan [-soc file.soc] [-width 32] [-wt 0.5] [-exhaustive] [-gantt] [-json]
+//	msoc-plan [-soc file.soc | -benchmark name] [-width 32] [-wt 0.5]
+//	          [-exhaustive] [-gantt] [-json]
 //	          [-sweep [-widths 32,40,48,56,64] [-wts 0.5,0.25,0.75]]
 //	          [-server http://host:8093 [-poll 500ms]]
 //
-// Without -soc the embedded p93791m benchmark is used (the paper's
-// experimental SOC). With -soc, the digital SOC is read from the file
-// and the paper's five analog cores are attached.
+// Without -soc or -benchmark the embedded p93791m benchmark is used
+// (the paper's experimental SOC). With -soc, the digital SOC is read
+// from the file and the paper's five analog cores are attached. With
+// -benchmark, a named design from the embedded registry is planned —
+// any mixed-signal name from mixsoc.Benchmarks(), e.g. d695m or
+// t512505m.
 //
 // With -json the plan is printed as the serving layer's PlanResponse
 // JSON — byte-identical to what a msoc-serve POST /v1/plan returns for
@@ -56,6 +60,7 @@ func main() {
 	log.SetPrefix("msoc-plan: ")
 
 	socPath := flag.String("soc", "", "digital SOC file (ITC'02-style format); default: embedded p93791")
+	benchmark := flag.String("benchmark", "", "named registry benchmark to plan (a mixed-signal name from mixsoc.Benchmarks(), e.g. d695m); default: p93791m")
 	width := flag.Int("width", 32, "SOC-level TAM width W")
 	wt := flag.Float64("wt", 0.5, "test-time cost weight wT (wA = 1 - wT)")
 	exhaustive := flag.Bool("exhaustive", false, "use exhaustive evaluation instead of Cost_Optimizer")
@@ -69,6 +74,9 @@ func main() {
 	pollEvery := flag.Duration("poll", 500*time.Millisecond, "job status poll period for -server")
 	flag.Parse()
 
+	if *socPath != "" && *benchmark != "" {
+		log.Fatal("-soc and -benchmark are mutually exclusive")
+	}
 	design := mixsoc.P93791M()
 	if *socPath != "" {
 		f, err := os.Open(*socPath)
@@ -81,6 +89,16 @@ func main() {
 			log.Fatal(err)
 		}
 		design = &mixsoc.Design{Name: soc.Name + "-m", Digital: soc, Analog: mixsoc.PaperAnalogCores()}
+	}
+	if *benchmark != "" {
+		d, err := mixsoc.LookupBenchmark(*benchmark)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(d.Analog) == 0 {
+			log.Fatalf("benchmark %q is digital-only; use %q", *benchmark, *benchmark+"m")
+		}
+		design = d
 	}
 
 	if *server != "" && !*sweep {
@@ -97,11 +115,11 @@ func main() {
 			log.Fatalf("-wts: %v", err)
 		}
 		if *server != "" {
-			runServerSweep(*server, design, *socPath != "", widths, wts, *exhaustive, *pollEvery)
+			runServerSweep(*server, design, *socPath != "", *benchmark, widths, wts, *exhaustive, *pollEvery)
 			return
 		}
 		if *jsonOut {
-			printSweepJSON(design, *socPath != "", widths, wts, *exhaustive)
+			printSweepJSON(design, *socPath != "", *benchmark, widths, wts, *exhaustive)
 			return
 		}
 		runSweep(design, widths, wts, *exhaustive)
@@ -109,7 +127,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		printJSON(design, *socPath != "", *width, *wt, *exhaustive)
+		printJSON(design, *socPath != "", *benchmark, *width, *wt, *exhaustive)
 		return
 	}
 
@@ -233,8 +251,8 @@ func method(exhaustive bool) string {
 // POST /v1/plan returns for the same request. Unlike a server, the CLI
 // imposes no planning deadline (the response bytes are unaffected — a
 // deadline can only abort a plan, never change one).
-func printJSON(design *mixsoc.Design, inline bool, width int, wt float64, exhaustive bool) {
-	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive}
+func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, wt float64, exhaustive bool) {
+	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive, Benchmark: benchmark}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {
@@ -256,8 +274,8 @@ func printJSON(design *mixsoc.Design, inline bool, width int, wt float64, exhaus
 // server's POST /v1/sweeps (identical re-submissions reattach to the
 // existing job), poll until the job is terminal, and print the result
 // bytes — the same bytes -json -sweep prints locally — to stdout.
-func runServerSweep(server string, design *mixsoc.Design, inline bool, widths []int, wts []float64, exhaustive bool, pollEvery time.Duration) {
-	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive}
+func runServerSweep(server string, design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive bool, pollEvery time.Duration) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Benchmark: benchmark}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {
@@ -329,8 +347,8 @@ func decodeJob(resp *http.Response) *service.JobResponse {
 // msoc-serve POST /v1/sweep returns for the same grid — the in-process
 // reference the distributed-smoke CI job diffs a coordinator's merged
 // response against.
-func printSweepJSON(design *mixsoc.Design, inline bool, widths []int, wts []float64, exhaustive bool) {
-	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive}
+func printSweepJSON(design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive bool) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Benchmark: benchmark}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {

@@ -67,6 +67,24 @@ func (d *Design) Validate() error {
 // AnalogNames returns the analog core labels, for partition formatting.
 func (d *Design) AnalogNames() []string { return analog.Names(d.Analog) }
 
+// MinTAMWidth returns the smallest SOC-level TAM width the design can
+// be scheduled at: analog test jobs have one fixed width (the test's
+// TAM width), so the widest analog test sets the floor; digital wrapper
+// staircases always start at width 1. Planning below this width cannot
+// succeed, which is how the serving layer rejects such requests up
+// front instead of surfacing a packer error.
+func MinTAMWidth(d *Design) int {
+	min := 1
+	for _, c := range d.Analog {
+		for _, t := range c.Tests {
+			if t.TAMWidth > min {
+				min = t.TAMWidth
+			}
+		}
+	}
+	return min
+}
+
 // AllShare returns the partition in which every analog core shares one
 // wrapper, the normalization point for CT. With no analog cores it
 // returns nil.

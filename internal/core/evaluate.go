@@ -348,6 +348,13 @@ func DigitalJobsWith(d *Design, width int, sc *wrapper.StaircaseCache) ([]*tam.J
 		if err != nil {
 			return nil, err
 		}
+		if pts[0].Time == 0 {
+			// A module whose test takes zero cycles (zero patterns, or
+			// no scan and no functional pins) occupies no TAM time at
+			// all; scheduling it would only produce a degenerate job
+			// the packer rejects.
+			continue
+		}
 		name := m.Name
 		if name == "" {
 			name = fmt.Sprintf("module%d", m.ID)

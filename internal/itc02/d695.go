@@ -1,0 +1,43 @@
+package itc02
+
+// D695 returns an embedded benchmark in the spirit of the ITC'02 d695
+// circuit: ten ISCAS-derived cores — two combinational, eight
+// scan-based — below a SOC-level module. Like P93791 the module data is
+// synthesized (the original ITC'02 distribution site is gone; see
+// DESIGN.md §2), calibrated to the published aggregate shape of d695:
+// small combinational cores up front, a body of scan cores whose chain
+// counts range from one to thirty-two, and a total test-data volume
+// three orders of magnitude below p93791's, so that packed schedules
+// land in the tens of thousands of cycles at TAM width 32.
+func D695() *SOC {
+	s := &SOC{Name: "d695"}
+	s.AddModule(&Module{ID: 0, Name: "soc", Level: 0, Inputs: 64, Outputs: 64, Bidirs: 16})
+	for _, spec := range d695Specs {
+		s.AddModule(&Module{
+			ID:      spec.id,
+			Name:    spec.name,
+			Level:   1,
+			Inputs:  spec.in,
+			Outputs: spec.out,
+			Bidirs:  spec.bid,
+			Scan:    buildChains(spec.chains),
+			Tests:   []Test{{ID: 1, Patterns: spec.patterns, ScanUse: len(spec.chains) > 0, TamUse: true}},
+		})
+	}
+	return s
+}
+
+var d695Specs = []moduleSpec{
+	// Combinational cores.
+	{1, "c6288", 32, 32, 0, nil, 12},
+	{2, "c7552", 207, 108, 0, nil, 73},
+	// Scan cores, smallest to largest.
+	{3, "s838", 35, 2, 0, []chainSpec{{1, 32}}, 75},
+	{4, "s9234", 36, 39, 0, []chainSpec{{4, 54}}, 105},
+	{5, "s38417", 28, 106, 0, []chainSpec{{32, 51}}, 68},
+	{6, "s13207", 31, 121, 0, []chainSpec{{16, 41}}, 234},
+	{7, "s15850", 14, 87, 0, []chainSpec{{16, 34}}, 95},
+	{8, "s5378", 35, 49, 0, []chainSpec{{4, 46}}, 97},
+	{9, "s35932", 35, 320, 0, []chainSpec{{32, 54}}, 12},
+	{10, "s38584", 38, 304, 0, []chainSpec{{32, 45}}, 110},
+}

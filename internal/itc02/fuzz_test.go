@@ -12,6 +12,9 @@ func FuzzParse(f *testing.F) {
 	f.Add(toySOC)
 	f.Add(Format(P93791()))
 	f.Add(Format(D281()))
+	f.Add(Format(D695()))
+	f.Add(Format(G1023()))
+	f.Add(Format(T512505()))
 	f.Add("SocName x\n")
 	f.Add("SocName x\nModule 1\nEndModule\n")
 	f.Add("SocName x\nTotalModules 0\n# nothing\n")

@@ -1,0 +1,44 @@
+package itc02
+
+// G1023 returns an embedded benchmark in the spirit of the ITC'02 g1023
+// circuit: fourteen modest cores — one BIST-style patterns-only core and
+// thirteen scan cores with one to six chains each. As with the other
+// embedded benchmarks the module data is synthesized (see DESIGN.md §2),
+// calibrated to g1023's published shape: no dominating giant, chain
+// lengths under 150 bits, and a total volume between d695's and
+// p93791's so mid-size scheduling behaviour (many comparable rectangles,
+// no bottleneck job) is represented in the registry.
+func G1023() *SOC {
+	s := &SOC{Name: "g1023"}
+	s.AddModule(&Module{ID: 0, Name: "soc", Level: 0, Inputs: 80, Outputs: 64, Bidirs: 16})
+	for _, spec := range g1023Specs {
+		s.AddModule(&Module{
+			ID:      spec.id,
+			Name:    spec.name,
+			Level:   1,
+			Inputs:  spec.in,
+			Outputs: spec.out,
+			Bidirs:  spec.bid,
+			Scan:    buildChains(spec.chains),
+			Tests:   []Test{{ID: 1, Patterns: spec.patterns, ScanUse: len(spec.chains) > 0, TamUse: true}},
+		})
+	}
+	return s
+}
+
+var g1023Specs = []moduleSpec{
+	{1, "g05", 10, 1, 0, nil, 1024},
+	{2, "g12", 66, 33, 0, []chainSpec{{1, 89}}, 109},
+	{3, "g15", 39, 20, 0, []chainSpec{{1, 52}}, 130},
+	{4, "g18", 52, 37, 0, []chainSpec{{4, 60}}, 107},
+	{5, "g20", 50, 30, 0, []chainSpec{{4, 68}}, 236},
+	{6, "g25", 84, 36, 0, []chainSpec{{4, 78}}, 151},
+	{7, "g30", 36, 23, 0, []chainSpec{{2, 77}}, 187},
+	{8, "g32", 28, 17, 0, []chainSpec{{2, 60}}, 224},
+	{9, "g40", 66, 44, 0, []chainSpec{{4, 99}}, 268},
+	{10, "g44", 16, 11, 0, []chainSpec{{1, 40}}, 94},
+	{11, "g50", 60, 34, 0, []chainSpec{{4, 112}}, 312},
+	{12, "g60", 44, 26, 0, []chainSpec{{2, 90}}, 278},
+	{13, "g72", 38, 38, 0, []chainSpec{{3, 104}}, 395},
+	{14, "g80", 72, 50, 4, []chainSpec{{6, 130}}, 421},
+}

@@ -1,0 +1,69 @@
+package itc02
+
+// T512505 returns an embedded benchmark in the spirit of the ITC'02
+// t512505 circuit, the family's stress case: thirty-one cores, most of
+// them mid-size, plus one giant scan core (m31) whose test alone packs
+// to roughly 5.2 million cycles once every one of its chains has its own
+// TAM wire — the published property that makes t512505's schedules
+// bottleneck-bound at every practical width. The module data is
+// synthesized to that shape (see DESIGN.md §2): registry users get a
+// design where widening the TAM quickly stops helping, the opposite
+// regime from d695 and g1023.
+func T512505() *SOC {
+	s := &SOC{Name: "t512505"}
+	s.AddModule(&Module{ID: 0, Name: "soc", Level: 0, Inputs: 192, Outputs: 160, Bidirs: 32})
+	for _, spec := range t512505Specs {
+		s.AddModule(&Module{
+			ID:      spec.id,
+			Name:    spec.name,
+			Level:   1,
+			Inputs:  spec.in,
+			Outputs: spec.out,
+			Bidirs:  spec.bid,
+			Scan:    buildChains(spec.chains),
+			Tests:   []Test{{ID: 1, Patterns: spec.patterns, ScanUse: len(spec.chains) > 0, TamUse: true}},
+		})
+	}
+	return s
+}
+
+var t512505Specs = []moduleSpec{
+	// Combinational and IO-dominated cores.
+	{1, "m01", 96, 64, 0, nil, 720},
+	{2, "m02", 58, 30, 0, nil, 512},
+	{3, "m03", 120, 84, 8, nil, 633},
+	// Small scan cores.
+	{4, "m04", 30, 16, 0, []chainSpec{{2, 140}}, 180},
+	{5, "m05", 24, 12, 0, []chainSpec{{2, 110}}, 212},
+	{6, "m06", 42, 20, 0, []chainSpec{{3, 160}}, 196},
+	{7, "m07", 36, 24, 0, []chainSpec{{3, 130}}, 240},
+	{8, "m08", 28, 14, 0, []chainSpec{{2, 170}}, 205},
+	{9, "m09", 50, 26, 4, []chainSpec{{4, 150}}, 188},
+	{10, "m10", 44, 22, 0, []chainSpec{{4, 180}}, 176},
+	{11, "m11", 32, 18, 0, []chainSpec{{3, 120}}, 230},
+	{12, "m12", 26, 12, 0, []chainSpec{{2, 190}}, 168},
+	{13, "m13", 60, 32, 0, []chainSpec{{5, 170}}, 210},
+	// Mid-range scan cores.
+	{14, "m14", 72, 40, 0, []chainSpec{{6, 260}}, 275},
+	{15, "m15", 64, 36, 0, []chainSpec{{6, 300}}, 248},
+	{16, "m16", 88, 48, 8, []chainSpec{{8, 280}}, 290},
+	{17, "m17", 56, 30, 0, []chainSpec{{5, 320}}, 236},
+	{18, "m18", 94, 52, 0, []chainSpec{{8, 340}}, 264},
+	{19, "m19", 48, 28, 0, []chainSpec{{4, 360}}, 228},
+	{20, "m20", 76, 42, 0, []chainSpec{{7, 310}}, 282},
+	{21, "m21", 68, 38, 0, []chainSpec{{6, 290}}, 256},
+	{22, "m22", 102, 56, 0, []chainSpec{{9, 330}}, 300},
+	{23, "m23", 54, 30, 0, []chainSpec{{5, 270}}, 244},
+	// Large scan cores.
+	{24, "m24", 130, 72, 8, []chainSpec{{12, 420}}, 340},
+	{25, "m25", 118, 64, 0, []chainSpec{{10, 460}}, 318},
+	{26, "m26", 142, 80, 0, []chainSpec{{14, 440}}, 352},
+	{27, "m27", 110, 60, 0, []chainSpec{{10, 480}}, 306},
+	{28, "m28", 156, 88, 0, []chainSpec{{16, 450}}, 366},
+	{29, "m29", 124, 68, 0, []chainSpec{{12, 500}}, 328},
+	{30, "m30", 98, 54, 0, []chainSpec{{8, 520}}, 294},
+	// The giant: eight 20k-bit chains make its scan-in time ~20k cycles
+	// per pattern once w >= 8, so its test floors the SOC makespan near
+	// 260 x 20001 ~ 5.2M cycles at any practical TAM width.
+	{31, "m31", 64, 40, 0, []chainSpec{{8, 20000}}, 260},
+}

@@ -1,0 +1,19 @@
+// Package proptest is a seeded property-based test layer over the whole
+// planning stack. It holds no production code: its test files push
+// hundreds of internal/socgen-generated designs — every one of which is
+// deterministic in its seed — through parsing, wrapper design, rectangle
+// packing, planning, and sweeping, asserting the structural invariants
+// that must hold for any valid mixed-signal SOC, not just the embedded
+// paper benchmarks:
+//
+//   - generated designs validate and their .soc text round-trips
+//     byte-identically;
+//   - wrapper staircases are strictly improving (width up, time down);
+//   - packed schedules validate, place every job, and have
+//     makespan = max placement end ≥ the area/serialization lower bound;
+//   - planning is invariant under design JSON marshal → unmarshal;
+//   - schedule makespans are non-increasing in TAM width.
+//
+// The seeds are fixed (1..N), so a failure reproduces exactly; the
+// fuzz harness in this package explores beyond the fixed seed set.
+package proptest

@@ -1,0 +1,141 @@
+// Package registry is the named-benchmark catalogue behind the service's
+// benchmark resolution and the CLIs' -benchmark flags: every embedded
+// ITC'02-style digital SOC (internal/itc02), each paired with a
+// mixed-signal variant built the way p93791m augments p93791 — the
+// digital SOC plus a size-matched subset of the paper's five analog
+// cores (internal/analog).
+//
+// Entries come in pairs: "<name>" is the digital-only SOC (loadable and
+// formattable, but not plannable — the planner needs analog cores) and
+// "<name>m" is the plannable mixed-signal design. Lookup returns a fresh
+// copy on every call, so callers may mutate freely; two lookups of the
+// same name always hash identically (core.DesignHash), which is what
+// lets the serving layer cache benchmark requests by content.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/core"
+	"mixsoc/internal/itc02"
+)
+
+// Entry describes one named benchmark of the registry.
+type Entry struct {
+	// Name is the registry key, e.g. "d695" or "p93791m".
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Modules counts the digital modules, including the SOC-level
+	// module 0.
+	Modules int
+	// AnalogCores counts the embedded analog cores; 0 marks a
+	// digital-only entry, which cannot be planned.
+	AnalogCores int
+	// TestVolume is the digital test-data volume in bit-cycles
+	// (itc02.TestDataVolume), the registry's size yardstick.
+	TestVolume int64
+}
+
+// benchmark is one registry row: constructors, never shared values, so
+// every Lookup hands out an independent copy.
+type benchmark struct {
+	desc    string
+	digital func() *itc02.SOC
+	analog  []string // paper-core names attached to the "m" variant
+}
+
+// benchmarks maps the digital family name to its row; the registry
+// serves both "<name>" and "<name>m" from it. The analog subsets grow
+// with the SOC: small SOCs get two cores (the smallest candidate set the
+// paper's policy admits), the stress cases get all five of Table 2.
+var benchmarks = map[string]benchmark{
+	"d281":    {"8 digital cores, two orders below d695; the demo-size benchmark", itc02.D281, []string{"C", "E"}},
+	"d695":    {"10 ISCAS-derived cores, the ITC'02 family's small circuit", itc02.D695, []string{"A", "B", "E"}},
+	"g1023":   {"14 modest cores with no dominating giant, the mid-size regime", itc02.G1023, []string{"A", "B", "C", "E"}},
+	"p93791":  {"32 cores, ~28M bit-cycles; the paper's experimental SOC", itc02.P93791, []string{"A", "B", "C", "D", "E"}},
+	"t512505": {"31 cores dominated by one giant scan core; the bottleneck-bound stress case", itc02.T512505, []string{"A", "B", "C", "D", "E"}},
+}
+
+// paperCores returns fresh copies of the named Table 2 cores, in the
+// order given.
+func paperCores(names []string) []*analog.Core {
+	all := analog.PaperCores()
+	byName := make(map[string]*analog.Core, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	out := make([]*analog.Core, 0, len(names))
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			panic(fmt.Sprintf("registry: no paper core %q", n))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Names returns every registry key, sorted.
+func Names() []string {
+	names := make([]string, 0, 2*len(benchmarks))
+	for base := range benchmarks {
+		names = append(names, base, base+"m")
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Entries describes every benchmark, sorted by name.
+func Entries() []Entry {
+	entries := make([]Entry, 0, 2*len(benchmarks))
+	for base, b := range benchmarks {
+		soc := b.digital()
+		var volume int64
+		for _, m := range soc.Modules {
+			volume += m.TestDataVolume()
+		}
+		digital := Entry{
+			Name:        base,
+			Description: b.desc + " (digital only)",
+			Modules:     len(soc.Modules),
+			TestVolume:  volume,
+		}
+		mixed := Entry{
+			Name:        base + "m",
+			Description: b.desc + fmt.Sprintf(" + %d analog cores", len(b.analog)),
+			Modules:     len(soc.Modules),
+			AnalogCores: len(b.analog),
+			TestVolume:  volume,
+		}
+		entries = append(entries, digital, mixed)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+// Lookup returns a fresh copy of the named benchmark design. For a
+// digital-only name the result has no analog cores and cannot be
+// planned; callers that need a plannable design should resolve the "m"
+// variant. Unknown names error with the available names listed.
+func Lookup(name string) (*core.Design, error) {
+	base, mixed := strings.CutSuffix(name, "m")
+	b, ok := benchmarks[name]
+	if ok {
+		// The digital name itself (no "m" suffix stripped).
+		return &core.Design{Name: name, Digital: b.digital()}, nil
+	}
+	if mixed {
+		if b, ok = benchmarks[base]; ok {
+			return &core.Design{
+				Name:    name,
+				Digital: b.digital(),
+				Analog:  paperCores(b.analog),
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("registry: unknown benchmark %q (have %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"mixsoc/internal/core"
+	"mixsoc/internal/experiments"
+	"mixsoc/internal/itc02"
+)
+
+// TestEveryEntryValidatesAndRoundTrips pins the registry's contract:
+// every named benchmark is a valid design whose digital half survives
+// the .soc text round trip byte-identically.
+func TestEveryEntryValidatesAndRoundTrips(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("%s: design named %q", name, d.Name)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		text := itc02.Format(d.Digital)
+		soc, err := itc02.Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if again := itc02.Format(soc); again != text {
+			t.Errorf("%s: .soc round trip not stable", name)
+		}
+	}
+}
+
+// TestLookupReturnsFreshHashStableCopies checks that two lookups return
+// independent values with identical content hashes — the property the
+// serving layer's benchmark caching rests on.
+func TestLookupReturnsFreshHashStableCopies(t *testing.T) {
+	a, err := Lookup("d695m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lookup("d695m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digital == b.Digital || a.Digital.Modules[1] == b.Digital.Modules[1] {
+		t.Fatal("Lookup returned shared digital state")
+	}
+	ha, err := core.DesignHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := core.DesignHash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("hashes differ across lookups: %s vs %s", ha, hb)
+	}
+	// Mutating one copy must not leak into the next lookup.
+	a.Digital.Modules[1].Inputs++
+	c, _ := Lookup("d695m")
+	hc, _ := core.DesignHash(c)
+	if hc != hb {
+		t.Fatal("mutation of a looked-up design leaked into the registry")
+	}
+}
+
+// TestP93791MMatchesExperimentsDesign pins the registry's p93791m to the
+// exact design the experiments (and the service's default benchmark
+// path) use, so a benchmark request by name can never drift from the
+// golden tables' SOC.
+func TestP93791MMatchesExperimentsDesign(t *testing.T) {
+	reg, err := Lookup("p93791m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := core.DesignHash(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := core.DesignHash(experiments.Design())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr != he {
+		t.Fatalf("registry p93791m hash %s != experiments design hash %s", hr, he)
+	}
+}
+
+// TestMixedVariantsArePlannableSized checks the entry metadata: every
+// "m" entry has 2-6 analog cores (the candidate-enumeration sweet spot)
+// and every digital entry has none.
+func TestMixedVariantsArePlannableSized(t *testing.T) {
+	for _, e := range Entries() {
+		mixed := strings.HasSuffix(e.Name, "m") && e.Name != "p93791" // no digital name ends in m today
+		if mixed && (e.AnalogCores < 2 || e.AnalogCores > 6) {
+			t.Errorf("%s: %d analog cores outside [2,6]", e.Name, e.AnalogCores)
+		}
+		if !mixed && e.AnalogCores != 0 {
+			t.Errorf("%s: digital entry with %d analog cores", e.Name, e.AnalogCores)
+		}
+		if e.Modules < 2 || e.TestVolume <= 0 {
+			t.Errorf("%s: implausible metadata %+v", e.Name, e)
+		}
+	}
+}
+
+// TestUnknownName checks the error lists the available names.
+func TestUnknownName(t *testing.T) {
+	_, err := Lookup("nope")
+	if err == nil || !strings.Contains(err.Error(), "p93791m") {
+		t.Fatalf("want unknown-benchmark error listing names, got %v", err)
+	}
+}

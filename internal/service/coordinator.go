@@ -232,6 +232,7 @@ func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequ
 	}
 	shardReq := ShardRequest{
 		Design:     req.Design,
+		SOC:        req.SOC,
 		Benchmark:  req.Benchmark,
 		Widths:     sp.widths,
 		WTs:        sp.wts,

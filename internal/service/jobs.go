@@ -149,6 +149,7 @@ type jobManifest struct {
 	ID         string          `json:"id"`
 	DesignHash string          `json:"design_hash"`
 	Design     json.RawMessage `json:"design,omitempty"`
+	SOC        string          `json:"soc,omitempty"`
 	Benchmark  string          `json:"benchmark,omitempty"`
 	Widths     []int           `json:"widths"`
 	WTs        []float64       `json:"wts"`
@@ -254,7 +255,7 @@ func jobID(sp *sweepSpec, exhaustive bool) string {
 // submission returns the existing job.
 func (m *jobManager) submit(req SweepRequest) (j *job, created bool, err error) {
 	observe := func(result string) { m.srv.metrics.observeJobSubmission(result) }
-	sp, err := validateSweep(req.Design, req.Benchmark, req.Widths, req.WTs)
+	sp, err := validateSweep(req.Design, req.SOC, req.Benchmark, req.Widths, req.WTs)
 	if err != nil {
 		observe(jobSubmitRejected)
 		return nil, false, err
@@ -303,6 +304,7 @@ func (m *jobManager) submit(req SweepRequest) (j *job, created bool, err error) 
 			ID:         id,
 			DesignHash: sp.hash,
 			Design:     req.Design,
+			SOC:        req.SOC,
 			Benchmark:  req.Benchmark,
 			Widths:     sp.widths,
 			WTs:        sp.wts,
@@ -385,6 +387,7 @@ func (m *jobManager) run(j *job, sp *sweepSpec) {
 	of := j.manifest.Of
 	req := SweepRequest{
 		Design:     j.manifest.Design,
+		SOC:        j.manifest.SOC,
 		Benchmark:  j.manifest.Benchmark,
 		Widths:     j.manifest.Widths,
 		WTs:        j.manifest.WTs,
@@ -457,6 +460,7 @@ func (m *jobManager) solveShard(sp *sweepSpec, req SweepRequest, shard, of int, 
 	}
 	resp, err := m.srv.Shard(m.ctx, ShardRequest{
 		Design:     req.Design,
+		SOC:        req.SOC,
 		Benchmark:  req.Benchmark,
 		Widths:     req.Widths,
 		WTs:        req.WTs,
@@ -666,7 +670,7 @@ func (m *jobManager) recoverJob(dir string) error {
 	if err := experiments.ReadJSONFile(filepath.Join(dir, "job.json"), &man); err != nil {
 		return err
 	}
-	sp, err := validateSweep(man.Design, man.Benchmark, man.Widths, man.WTs)
+	sp, err := validateSweep(man.Design, man.SOC, man.Benchmark, man.Widths, man.WTs)
 	if err != nil {
 		return fmt.Errorf("manifest does not validate: %w", err)
 	}

@@ -300,8 +300,11 @@ func (s *Server) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 	if err != nil {
 		return nil, err
 	}
-	d, err := resolveDesign(req.Design, req.Benchmark)
+	d, err := resolveDesign(req.Design, req.SOC, req.Benchmark)
 	if err != nil {
+		return nil, err
+	}
+	if err := validateDesignWidth(d, req.Width); err != nil {
 		return nil, err
 	}
 	hash, err := core.DesignHash(d)
@@ -347,7 +350,7 @@ func (sp *sweepSpec) cells() int { return len(sp.widths) * len(sp.weights) }
 // validateSweep checks a sweep's axes, bounds and design — shared by
 // the in-process sweep, the coordinator, and the worker shard endpoint,
 // so all three accept exactly the same grids.
-func validateSweep(design json.RawMessage, benchmark string, widths []int, wts []float64) (*sweepSpec, error) {
+func validateSweep(design json.RawMessage, soc, benchmark string, widths []int, wts []float64) (*sweepSpec, error) {
 	if len(widths) == 0 {
 		return nil, badRequestf("sweep needs at least one width")
 	}
@@ -370,8 +373,11 @@ func validateSweep(design json.RawMessage, benchmark string, widths []int, wts [
 	if cells := len(widths) * len(weights); cells > MaxSweepCells {
 		return nil, badRequestf("sweep grid of %d cells exceeds the %d-cell bound", cells, MaxSweepCells)
 	}
-	d, err := resolveDesign(design, benchmark)
+	d, err := resolveDesign(design, soc, benchmark)
 	if err != nil {
+		return nil, err
+	}
+	if err := validateDesignWidth(d, widths...); err != nil {
 		return nil, err
 	}
 	hash, err := core.DesignHash(d)
@@ -410,7 +416,7 @@ func (sp *sweepSpec) distributable() bool {
 // warm-started sweeps — whose cross-width chaining is inherently
 // sequential — and grids with duplicate axis values plan in-process.
 func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
-	sp, err := validateSweep(req.Design, req.Benchmark, req.Widths, req.WTs)
+	sp, err := validateSweep(req.Design, req.SOC, req.Benchmark, req.Widths, req.WTs)
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +450,7 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 // through core.SweepOptions.Select so every returned point is
 // bit-identical to the same cell of an unsharded sweep.
 func (s *Server) Shard(ctx context.Context, req ShardRequest) (*ShardResponse, error) {
-	sp, err := validateSweep(req.Design, req.Benchmark, req.Widths, req.WTs)
+	sp, err := validateSweep(req.Design, req.SOC, req.Benchmark, req.Widths, req.WTs)
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +495,11 @@ func (s *Server) Shard(ctx context.Context, req ShardRequest) (*ShardResponse, e
 
 // Designs computes the response of GET /v1/designs.
 func (s *Server) Designs() *DesignsResponse {
-	return &DesignsResponse{Designs: s.engine.Designs(), Metrics: s.engine.Metrics()}
+	return &DesignsResponse{
+		Benchmarks: benchmarkInfos(),
+		Designs:    s.engine.Designs(),
+		Metrics:    s.engine.Metrics(),
+	}
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {

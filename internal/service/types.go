@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
+	"mixsoc/internal/analog"
 	"mixsoc/internal/core"
 	"mixsoc/internal/experiments"
+	"mixsoc/internal/itc02"
+	"mixsoc/internal/registry"
 )
 
 // Request size and grid bounds enforced by validation, so one request
@@ -19,6 +23,13 @@ const (
 	MaxWidth = 4096
 	// MaxSweepCells bounds len(widths) × len(weights) of one sweep.
 	MaxSweepCells = 4096
+	// MaxSOCBytes bounds an uploaded .soc body (the biggest embedded
+	// benchmark formats to ~15 KB; 1 MiB leaves two orders of headroom).
+	MaxSOCBytes = 1 << 20
+	// MaxSOCModules bounds an uploaded SOC's module count — the guard
+	// against bodies that parse fine but describe absurd designs whose
+	// packing would monopolize the planner.
+	MaxSOCModules = 1024
 )
 
 // BenchmarkP93791M names the built-in paper benchmark design, the
@@ -28,10 +39,15 @@ const BenchmarkP93791M = "p93791m"
 // PlanRequest is the body of POST /v1/plan.
 type PlanRequest struct {
 	// Design is an inline design in the canonical core.MarshalDesign
-	// JSON form; empty means the named Benchmark.
+	// JSON form; empty means the SOC upload or the named Benchmark.
 	Design json.RawMessage `json:"design,omitempty"`
-	// Benchmark names a built-in design (only "p93791m" today); empty
-	// with no Design also means p93791m.
+	// SOC is an uploaded digital SOC in the ITC'02-style .soc text
+	// format; the paper's five analog cores are attached, exactly as
+	// msoc-plan -soc does. At most one of Design, SOC and Benchmark may
+	// be given.
+	SOC string `json:"soc,omitempty"`
+	// Benchmark names a built-in registry design ("p93791m", "d695m",
+	// "t512505m", ...); empty with no Design and no SOC means p93791m.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Width is the SOC-level TAM width W.
 	Width int `json:"width"`
@@ -64,6 +80,8 @@ type PlanResponse struct {
 type SweepRequest struct {
 	// Design is an inline design; see PlanRequest.Design.
 	Design json.RawMessage `json:"design,omitempty"`
+	// SOC is an uploaded .soc body; see PlanRequest.SOC.
+	SOC string `json:"soc,omitempty"`
 	// Benchmark names a built-in design; see PlanRequest.Benchmark.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Widths are the TAM widths to sweep.
@@ -103,6 +121,9 @@ type ShardRequest struct {
 	// coordinator forwards its request's design bytes verbatim, so the
 	// worker resolves — and hashes — the identical design.
 	Design json.RawMessage `json:"design,omitempty"`
+	// SOC is an uploaded .soc body, forwarded verbatim like Design; see
+	// PlanRequest.SOC.
+	SOC string `json:"soc,omitempty"`
 	// Benchmark names a built-in design; see PlanRequest.Benchmark.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Widths is the full sweep's TAM width axis (not just this shard's).
@@ -207,9 +228,29 @@ type WorkersUpdateRequest struct {
 	Remove []string `json:"remove,omitempty"`
 }
 
-// DesignsResponse is the body of GET /v1/designs: the engine's live
-// cache sessions and its cache-efficiency counters.
+// BenchmarkInfo describes one built-in benchmark a request's Benchmark
+// field can name, as listed by GET /v1/designs.
+type BenchmarkInfo struct {
+	// Name is the registry key to put in a request's benchmark field.
+	Name string `json:"name"`
+	// Description is a one-line summary of the design.
+	Description string `json:"description"`
+	// Modules counts the digital modules, including the SOC-level
+	// module 0.
+	Modules int `json:"modules"`
+	// AnalogCores counts the embedded analog cores; entries with 0 are
+	// digital-only and cannot be planned (use the "m" variant).
+	AnalogCores int `json:"analog_cores"`
+	// TestVolume is the digital test-data volume in bit-cycles.
+	TestVolume int64 `json:"test_volume"`
+}
+
+// DesignsResponse is the body of GET /v1/designs: the built-in
+// benchmark registry, the engine's live cache sessions, and its
+// cache-efficiency counters.
 type DesignsResponse struct {
+	// Benchmarks lists every built-in benchmark requests can name.
+	Benchmarks []BenchmarkInfo `json:"benchmarks"`
 	// Designs lists the live cache sessions, most recently used first.
 	Designs []core.DesignInfo `json:"designs"`
 	// Metrics aggregates the engine's cache counters.
@@ -237,24 +278,89 @@ func badRequestf(format string, args ...any) error {
 }
 
 // resolveDesign turns a request's design fields into a *Design: an
-// inline canonical-JSON design, a named benchmark, or the default
-// p93791m.
-func resolveDesign(inline json.RawMessage, benchmark string) (*core.Design, error) {
-	if len(inline) > 0 {
-		if benchmark != "" {
-			return nil, badRequestf("give either an inline design or a benchmark name, not both")
+// inline canonical-JSON design, an uploaded .soc body (digital SOC plus
+// the paper's analog cores), a named registry benchmark, or the default
+// p93791m. At most one source may be given.
+func resolveDesign(inline json.RawMessage, soc, benchmark string) (*core.Design, error) {
+	sources := 0
+	for _, given := range []bool{len(inline) > 0, soc != "", benchmark != ""} {
+		if given {
+			sources++
 		}
+	}
+	if sources > 1 {
+		return nil, badRequestf("give at most one of an inline design, a .soc upload, and a benchmark name")
+	}
+	switch {
+	case len(inline) > 0:
 		d, err := core.UnmarshalDesign(inline)
 		if err != nil {
 			return nil, badRequestf("bad inline design: %v", err)
 		}
 		return d, nil
+	case soc != "":
+		return resolveSOC(soc)
 	}
-	switch benchmark {
-	case "", BenchmarkP93791M:
+	// The default benchmark keeps resolving through the experiments
+	// package, pinning served p93791m bytes to the golden tables' SOC.
+	if benchmark == "" || benchmark == BenchmarkP93791M {
 		return experiments.Design(), nil
 	}
-	return nil, badRequestf("unknown benchmark %q (have %q)", benchmark, BenchmarkP93791M)
+	d, err := registry.Lookup(benchmark)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	if len(d.Analog) == 0 {
+		return nil, badRequestf("benchmark %q is digital-only and cannot be planned; use %q", benchmark, benchmark+"m")
+	}
+	return d, nil
+}
+
+// resolveSOC parses and bounds an uploaded .soc body and attaches the
+// paper's five analog cores, the same convention msoc-plan -soc uses —
+// so an uploaded digital SOC is immediately plannable and two uploads
+// of the same text hash to the same engine cache session.
+func resolveSOC(soc string) (*core.Design, error) {
+	if len(soc) > MaxSOCBytes {
+		return nil, badRequestf(".soc body of %d bytes exceeds the %d-byte bound", len(soc), MaxSOCBytes)
+	}
+	parsed, err := itc02.Parse(strings.NewReader(soc))
+	if err != nil {
+		return nil, badRequestf("bad .soc body: %v", err)
+	}
+	if len(parsed.Modules) > MaxSOCModules {
+		return nil, badRequestf(".soc with %d modules exceeds the %d-module bound", len(parsed.Modules), MaxSOCModules)
+	}
+	return &core.Design{Name: parsed.Name + "-m", Digital: parsed, Analog: analog.PaperCores()}, nil
+}
+
+// benchmarkInfos renders the registry for GET /v1/designs.
+func benchmarkInfos() []BenchmarkInfo {
+	entries := registry.Entries()
+	infos := make([]BenchmarkInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = BenchmarkInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			Modules:     e.Modules,
+			AnalogCores: e.AnalogCores,
+			TestVolume:  e.TestVolume,
+		}
+	}
+	return infos
+}
+
+// validateDesignWidth rejects widths below the design's minimum
+// feasible TAM width (its widest analog test): such a plan can only end
+// in a packer error, so it is a client error, not a server one.
+func validateDesignWidth(d *core.Design, widths ...int) error {
+	min := core.MinTAMWidth(d)
+	for _, w := range widths {
+		if w < min {
+			return badRequestf("width %d below the design's minimum feasible TAM width %d (its widest analog test)", w, min)
+		}
+	}
+	return nil
 }
 
 // weightsFor builds and validates the cost weights from a wT value.

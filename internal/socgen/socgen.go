@@ -1,0 +1,299 @@
+// Package socgen is the seeded synthetic-design supply: a deterministic
+// random generator of valid mixed-signal SOCs, the scenario source
+// behind msoc-gen, the property-based test layer, and the fuzz corpora.
+//
+// Determinism is the contract: the same Options (seed included) always
+// produce the same design, down to the bytes of its .soc rendering and
+// its canonical JSON — the generator draws from a single math/rand
+// stream in a fixed order and never iterates a map. Validity is the
+// other contract: every generated design passes itc02 and core
+// validation and round-trips through parse→write→parse, enforced by
+// this package's tests and re-checked over hundreds of seeds by
+// internal/proptest.
+package socgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/core"
+	"mixsoc/internal/itc02"
+)
+
+// Class is a design size class: it selects the default ranges every
+// unset Options knob draws from.
+type Class int
+
+// The size classes, smallest first. Small designs plan in milliseconds
+// (the property-suite workhorse); Large approaches p93791's shape.
+const (
+	Small Class = iota
+	Medium
+	Large
+)
+
+// String names the class the way msoc-gen's -class flag spells it.
+func (c Class) String() string {
+	switch c {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// ParseClass parses a -class flag value.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("socgen: unknown size class %q (small, medium or large)", s)
+}
+
+// Options are the generator's knobs. Only Seed is required; every other
+// field falls back to its Class default when zero.
+type Options struct {
+	// Seed selects the design; equal Options generate byte-identical
+	// designs.
+	Seed int64
+	// Name is the SOC name; empty means "gen<seed>".
+	Name string
+	// Class selects the default size ranges (default Small).
+	Class Class
+	// Modules fixes the digital core count (excluding the SOC-level
+	// module 0); 0 draws it from the class range.
+	Modules int
+	// AnalogCores fixes the analog core count; 0 draws it from the class
+	// range. Values outside [2, 6] error: below 2 the paper's candidate
+	// policy admits no sharing configuration, above 6 the Bell-number
+	// candidate enumeration explodes.
+	AnalogCores int
+	// MaxScanChains bounds a module's scan chain count; 0 means the
+	// class default. Roughly a quarter of modules come out combinational
+	// regardless.
+	MaxScanChains int
+	// MaxChainLength bounds each scan chain's flip-flop count; 0 means
+	// the class default.
+	MaxChainLength int
+	// MaxPatterns bounds each test's pattern count; 0 means the class
+	// default.
+	MaxPatterns int
+	// MaxIO bounds a module's functional input and output terminal
+	// counts; 0 means the class default.
+	MaxIO int
+}
+
+// classDefaults are the per-class knob ranges.
+type classDefaults struct {
+	minModules, maxModules int
+	minAnalog, maxAnalog   int
+	maxScanChains          int
+	maxChainLength         int
+	maxPatterns            int
+	maxIO                  int
+}
+
+func defaultsFor(c Class) (classDefaults, error) {
+	switch c {
+	case Small:
+		return classDefaults{6, 12, 2, 3, 4, 120, 300, 64}, nil
+	case Medium:
+		return classDefaults{16, 28, 3, 4, 12, 400, 700, 160}, nil
+	case Large:
+		return classDefaults{30, 48, 4, 6, 32, 800, 1100, 320}, nil
+	}
+	return classDefaults{}, fmt.Errorf("socgen: unknown size class %d", int(c))
+}
+
+// maxAnalogTAMWidth bounds every generated analog test's TAM width, so
+// generated designs are plannable at any SOC TAM width of at least 6
+// (core.MinTAMWidth reports the per-design exact bound).
+const maxAnalogTAMWidth = 6
+
+// resolved are the fully-determined generation parameters.
+type resolved struct {
+	name    string
+	modules int
+	analog  int
+	d       classDefaults
+}
+
+// resolve applies the class defaults, validates the knobs, and draws
+// the counts that the class ranges leave open.
+func resolve(opt Options, r *rand.Rand) (resolved, error) {
+	d, err := defaultsFor(opt.Class)
+	if err != nil {
+		return resolved{}, err
+	}
+	if opt.MaxScanChains > 0 {
+		d.maxScanChains = opt.MaxScanChains
+	}
+	if opt.MaxChainLength > 0 {
+		d.maxChainLength = opt.MaxChainLength
+	}
+	if opt.MaxPatterns > 0 {
+		d.maxPatterns = opt.MaxPatterns
+	}
+	if opt.MaxIO > 0 {
+		d.maxIO = opt.MaxIO
+	}
+	if opt.Modules < 0 || opt.AnalogCores < 0 {
+		return resolved{}, fmt.Errorf("socgen: negative module or analog-core count in %+v", opt)
+	}
+	p := resolved{name: opt.Name, d: d}
+	if p.name == "" {
+		p.name = fmt.Sprintf("gen%d", opt.Seed)
+	}
+	p.modules = opt.Modules
+	if p.modules == 0 {
+		p.modules = d.minModules + r.Intn(d.maxModules-d.minModules+1)
+	}
+	if p.modules > 512 {
+		return resolved{}, fmt.Errorf("socgen: %d modules exceeds the 512 bound", p.modules)
+	}
+	p.analog = opt.AnalogCores
+	if p.analog == 0 {
+		p.analog = d.minAnalog + r.Intn(d.maxAnalog-d.minAnalog+1)
+	}
+	if p.analog < 2 || p.analog > 6 {
+		return resolved{}, fmt.Errorf("socgen: %d analog cores outside [2, 6]", p.analog)
+	}
+	return p, nil
+}
+
+// Generate returns the seeded synthetic mixed-signal design for opt:
+// a digital SOC (identical to GenerateSOC's for the same Options) plus
+// 2-6 analog cores with specification tests. The result always passes
+// core.Design.Validate.
+func Generate(opt Options) (*core.Design, error) {
+	r := rand.New(rand.NewSource(opt.Seed))
+	p, err := resolve(opt, r)
+	if err != nil {
+		return nil, err
+	}
+	soc := genSOC(r, p)
+	cores := genAnalog(r, p)
+	return &core.Design{Name: p.name, Digital: soc, Analog: cores}, nil
+}
+
+// GenerateSOC returns only the digital half of Generate's design for
+// opt — byte-identical .soc output for equal Options. The result always
+// passes itc02 validation and round-trips through Format and Parse.
+func GenerateSOC(opt Options) (*itc02.SOC, error) {
+	r := rand.New(rand.NewSource(opt.Seed))
+	p, err := resolve(opt, r)
+	if err != nil {
+		return nil, err
+	}
+	return genSOC(r, p), nil
+}
+
+// genSOC draws the digital SOC. Every module gets at least one
+// TAM-delivered test with at least one pattern and at least one input
+// terminal, so no generated core has a zero-time test job.
+func genSOC(r *rand.Rand, p resolved) *itc02.SOC {
+	s := &itc02.SOC{Name: p.name}
+	s.AddModule(&itc02.Module{
+		ID:      0,
+		Name:    "soc",
+		Level:   0,
+		Inputs:  16 + r.Intn(p.d.maxIO),
+		Outputs: 16 + r.Intn(p.d.maxIO),
+		Bidirs:  r.Intn(p.d.maxIO/4 + 1),
+	})
+	for id := 1; id <= p.modules; id++ {
+		m := &itc02.Module{
+			ID:      id,
+			Name:    fmt.Sprintf("core%02d", id),
+			Level:   1,
+			Inputs:  1 + r.Intn(p.d.maxIO),
+			Outputs: 1 + r.Intn(p.d.maxIO),
+		}
+		if r.Intn(100) < 20 {
+			m.Bidirs = r.Intn(p.d.maxIO/4 + 1)
+		}
+		// About a quarter of the modules are combinational, mirroring the
+		// ITC'02 family's mix of scan and patterns-only cores.
+		if r.Intn(100) >= 25 {
+			chains := 1 + r.Intn(p.d.maxScanChains)
+			m.Scan = make([]int, chains)
+			base := 1 + r.Intn(p.d.maxChainLength)
+			for i := range m.Scan {
+				// Same deterministic near-equal variation the embedded
+				// benchmarks use: realistic, and keeps chains balanced.
+				l := base - i%7
+				if l < 1 {
+					l = 1
+				}
+				m.Scan[i] = l
+			}
+		}
+		m.Tests = []itc02.Test{{
+			ID:       1,
+			Patterns: 1 + r.Intn(p.d.maxPatterns),
+			ScanUse:  len(m.Scan) > 0,
+			TamUse:   true,
+		}}
+		// A minority of cores carry a second, functional (non-scan) test.
+		if r.Intn(100) < 20 {
+			m.Tests = append(m.Tests, itc02.Test{
+				ID:       2,
+				Patterns: 1 + r.Intn(p.d.maxPatterns/4+1),
+				TamUse:   true,
+			})
+		}
+		s.AddModule(m)
+	}
+	return s
+}
+
+// fsTable are the sampling frequencies analog tests draw from, spanning
+// the paper's Table 2 range (10 kHz to 78 MHz).
+var fsTable = []analog.Hertz{
+	10 * analog.KHz, 640 * analog.KHz, 1.5 * analog.MHz, 2.46 * analog.MHz,
+	8 * analog.MHz, 15 * analog.MHz, 26 * analog.MHz, 78 * analog.MHz,
+}
+
+// testNames label generated analog tests, cycled in order.
+var testNames = []string{"G", "fc", "THD", "IIP3", "DR", "SR", "Voffset", "phimis"}
+
+// genAnalog draws the analog cores: 1-4 specification tests each, with
+// bounded TAM widths (maxAnalogTAMWidth) and sane stimulus bands, so
+// every core passes analog validation and every test's fixed TAM job is
+// packable at moderate SOC widths.
+func genAnalog(r *rand.Rand, p resolved) []*analog.Core {
+	cores := make([]*analog.Core, p.analog)
+	for ci := range cores {
+		n := 1 + r.Intn(4)
+		tests := make([]analog.Test, n)
+		for ti := range tests {
+			fs := fsTable[r.Intn(len(fsTable))]
+			finHigh := fs / analog.Hertz(2+r.Intn(6))
+			finLow := finHigh / analog.Hertz(1+r.Intn(4))
+			tests[ti] = analog.Test{
+				Name:       fmt.Sprintf("%s%d", testNames[(ci+ti)%len(testNames)], ti),
+				FinLow:     finLow,
+				FinHigh:    finHigh,
+				Fsample:    fs,
+				Cycles:     int64(500 + r.Intn(150000)),
+				TAMWidth:   1 + r.Intn(maxAnalogTAMWidth),
+				Resolution: 8 + 2*r.Intn(4),
+			}
+		}
+		cores[ci] = &analog.Core{
+			Name:  fmt.Sprintf("AC%d", ci),
+			Kind:  "synthetic",
+			Tests: tests,
+		}
+	}
+	return cores
+}

@@ -1,0 +1,163 @@
+package socgen
+
+import (
+	"strings"
+	"testing"
+
+	"mixsoc/internal/core"
+	"mixsoc/internal/itc02"
+)
+
+// TestByteIdenticalPerSeed pins the determinism contract: equal Options
+// generate byte-identical .soc text and canonical JSON, and different
+// seeds generate different designs.
+func TestByteIdenticalPerSeed(t *testing.T) {
+	for _, class := range []Class{Small, Medium, Large} {
+		opt := Options{Seed: 42, Class: class}
+		a, err := Generate(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if itc02.Format(a.Digital) != itc02.Format(b.Digital) {
+			t.Fatalf("%v: same seed, different .soc bytes", class)
+		}
+		ja, err := core.MarshalDesign(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := core.MarshalDesign(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ja) != string(jb) {
+			t.Fatalf("%v: same seed, different canonical JSON", class)
+		}
+		c, err := Generate(Options{Seed: 43, Class: class})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if itc02.Format(a.Digital) == itc02.Format(c.Digital) {
+			t.Fatalf("%v: different seeds, identical .soc bytes", class)
+		}
+	}
+}
+
+// TestGenerateSOCMatchesGenerate checks the digital half is shared:
+// GenerateSOC emits exactly Generate's Digital for the same Options.
+func TestGenerateSOCMatchesGenerate(t *testing.T) {
+	opt := Options{Seed: 7, Class: Medium}
+	d, err := Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := GenerateSOC(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itc02.Format(soc) != itc02.Format(d.Digital) {
+		t.Fatal("GenerateSOC diverges from Generate's digital half")
+	}
+}
+
+// TestAlwaysValidAndRoundTrips spot-checks validity and text round
+// trips across classes and seeds (the 200-seed sweep lives in
+// internal/proptest).
+func TestAlwaysValidAndRoundTrips(t *testing.T) {
+	for _, class := range []Class{Small, Medium, Large} {
+		for seed := int64(0); seed < 10; seed++ {
+			d, err := Generate(Options{Seed: seed, Class: class})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("%v seed %d: %v", class, seed, err)
+			}
+			text := itc02.Format(d.Digital)
+			soc, err := itc02.Parse(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("%v seed %d: reparse: %v", class, seed, err)
+			}
+			if itc02.Format(soc) != text {
+				t.Fatalf("%v seed %d: .soc round trip not stable", class, seed)
+			}
+			if n := len(d.Analog); n < 2 || n > 6 {
+				t.Fatalf("%v seed %d: %d analog cores", class, seed, n)
+			}
+			for _, c := range d.Analog {
+				for _, at := range c.Tests {
+					if at.TAMWidth > maxAnalogTAMWidth {
+						t.Fatalf("%v seed %d: analog TAM width %d", class, seed, at.TAMWidth)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKnobs checks that explicit knobs override the class defaults.
+func TestKnobs(t *testing.T) {
+	d, err := Generate(Options{Seed: 1, Modules: 5, AnalogCores: 2, Name: "knobbed",
+		MaxScanChains: 2, MaxChainLength: 30, MaxPatterns: 10, MaxIO: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "knobbed" || d.Digital.Name != "knobbed" {
+		t.Fatalf("name knob ignored: %q / %q", d.Name, d.Digital.Name)
+	}
+	if got := len(d.Digital.Modules); got != 6 { // 5 cores + SOC module 0
+		t.Fatalf("modules knob ignored: %d modules", got)
+	}
+	if got := len(d.Analog); got != 2 {
+		t.Fatalf("analog knob ignored: %d cores", got)
+	}
+	for _, m := range d.Digital.Cores() {
+		if len(m.Scan) > 2 {
+			t.Fatalf("MaxScanChains ignored: %d chains", len(m.Scan))
+		}
+		for _, l := range m.Scan {
+			if l > 30 {
+				t.Fatalf("MaxChainLength ignored: chain of %d", l)
+			}
+		}
+		if m.Inputs > 8 || m.Outputs > 8 {
+			t.Fatalf("MaxIO ignored: %d/%d", m.Inputs, m.Outputs)
+		}
+		for _, tt := range m.Tests {
+			if tt.Patterns > 10 {
+				t.Fatalf("MaxPatterns ignored: %d patterns", tt.Patterns)
+			}
+		}
+	}
+}
+
+// TestBadOptions checks knob validation errors.
+func TestBadOptions(t *testing.T) {
+	for _, opt := range []Options{
+		{Seed: 1, AnalogCores: 1},
+		{Seed: 1, AnalogCores: 7},
+		{Seed: 1, Modules: -1},
+		{Seed: 1, Modules: 600},
+		{Seed: 1, Class: Class(9)},
+	} {
+		if _, err := Generate(opt); err == nil {
+			t.Errorf("Generate(%+v): no error", opt)
+		}
+	}
+}
+
+// TestParseClassRoundTrips pins the -class flag spelling.
+func TestParseClassRoundTrips(t *testing.T) {
+	for _, c := range []Class{Small, Medium, Large} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("huge"); err == nil {
+		t.Error("ParseClass(huge): no error")
+	}
+}

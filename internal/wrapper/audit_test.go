@@ -1,0 +1,96 @@
+package wrapper
+
+import (
+	"testing"
+
+	"mixsoc/internal/itc02"
+)
+
+// These tests pin down wrapper design for module shapes outside the
+// p93791 mold: cores with no functional terminals, no scan chains, or
+// no test time at all, which generated and uploaded SOCs can contain.
+
+func TestParetoZeroIOScanModule(t *testing.T) {
+	// Scan chains but not a single functional terminal: the staircase
+	// must still be strictly improving, and shortening the longest
+	// wrapper chain is the only lever.
+	m := &itc02.Module{
+		ID: 1, Name: "scanonly",
+		Scan:  []int{90, 60, 30},
+		Tests: []itc02.Test{{ID: 1, Patterns: 50, ScanUse: true, TamUse: true}},
+	}
+	pts, err := Pareto(m, 8)
+	if err != nil {
+		t.Fatalf("Pareto: %v", err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("scan module staircase has %d points, want at least 2: %v", len(pts), pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Width <= pts[i-1].Width || pts[i].Time >= pts[i-1].Time {
+			t.Fatalf("staircase not strictly improving at %d: %v", i, pts)
+		}
+	}
+	if pts[0].Width != 1 || pts[0].Time <= 0 {
+		t.Errorf("staircase must start at width 1 with positive time, got %v", pts[0])
+	}
+}
+
+func TestParetoCombinationalModule(t *testing.T) {
+	// No scan chains: only the boundary cells shift, so widening the
+	// wrapper keeps helping until every cell has its own wire.
+	m := &itc02.Module{
+		ID: 2, Name: "comb",
+		Inputs: 16, Outputs: 8,
+		Tests: []itc02.Test{{ID: 1, Patterns: 200, TamUse: true}},
+	}
+	pts, err := Pareto(m, 32)
+	if err != nil {
+		t.Fatalf("Pareto: %v", err)
+	}
+	for i, p := range pts {
+		if p.Time <= 0 {
+			t.Fatalf("combinational staircase point %d has non-positive time: %v", i, pts)
+		}
+	}
+	if last := pts[len(pts)-1]; last.Width > 16 {
+		t.Errorf("staircase extends to width %d, but 16 wires already give one cell per input", last.Width)
+	}
+}
+
+func TestParetoZeroTimeModule(t *testing.T) {
+	// A valid module whose only test takes zero cycles (no patterns, no
+	// scan, no outputs): the staircase degenerates to the single point
+	// {1, 0}, which tam.Job.Validate rejects — core.DigitalJobsWith is
+	// responsible for skipping such modules.
+	m := &itc02.Module{
+		ID: 3, Name: "zerotime",
+		Inputs: 4,
+		Tests:  []itc02.Test{{ID: 1, Patterns: 0, TamUse: true}},
+	}
+	pts, err := Pareto(m, 8)
+	if err != nil {
+		t.Fatalf("Pareto: %v", err)
+	}
+	if len(pts) != 1 || pts[0].Width != 1 || pts[0].Time != 0 {
+		t.Errorf("zero-time staircase = %v, want the single point {1 0}", pts)
+	}
+}
+
+func TestParetoFunctionalOnlyModule(t *testing.T) {
+	// A test delivered functionally (TamUse false) costs one cycle per
+	// pattern no matter how many wires the wrapper gets: a one-point
+	// staircase at width 1.
+	m := &itc02.Module{
+		ID: 4, Name: "functional",
+		Inputs: 10, Outputs: 10,
+		Tests: []itc02.Test{{ID: 1, Patterns: 77}},
+	}
+	pts, err := Pareto(m, 16)
+	if err != nil {
+		t.Fatalf("Pareto: %v", err)
+	}
+	if len(pts) != 1 || pts[0].Width != 1 || pts[0].Time != 77 {
+		t.Errorf("functional-only staircase = %v, want [{1 77}]", pts)
+	}
+}

@@ -43,6 +43,8 @@ import (
 	"mixsoc/internal/core"
 	"mixsoc/internal/itc02"
 	"mixsoc/internal/partition"
+	"mixsoc/internal/registry"
+	"mixsoc/internal/socgen"
 	"mixsoc/internal/tam"
 	"mixsoc/internal/wrapsim"
 )
@@ -170,6 +172,59 @@ func P93791() *SOC { return itc02.P93791() }
 // D281 returns the small embedded digital benchmark, convenient for
 // fast experiments.
 func D281() *SOC { return itc02.D281() }
+
+// D695 returns the embedded d695-class digital benchmark, the ITC'02
+// family's small circuit (ten ISCAS-derived cores).
+func D695() *SOC { return itc02.D695() }
+
+// G1023 returns the embedded g1023-class digital benchmark: fourteen
+// modest cores with no dominating giant.
+func G1023() *SOC { return itc02.G1023() }
+
+// T512505 returns the embedded t512505-class digital benchmark, the
+// family's stress case: thirty-one cores dominated by one giant scan
+// core whose test floors the schedule at every practical TAM width.
+func T512505() *SOC { return itc02.T512505() }
+
+// Benchmark describes one entry of the built-in benchmark registry.
+type Benchmark = registry.Entry
+
+// Benchmarks lists every built-in benchmark — each embedded digital SOC
+// and its plannable mixed-signal "m" variant — sorted by name.
+func Benchmarks() []Benchmark { return registry.Entries() }
+
+// LookupBenchmark returns a fresh copy of a named built-in benchmark
+// design ("p93791m", "d695", "t512505m", ...). Digital-only names
+// resolve to designs without analog cores, which cannot be planned; the
+// "m" variants can.
+func LookupBenchmark(name string) (*Design, error) { return registry.Lookup(name) }
+
+// GenOptions configures Generate, the seeded synthetic-design
+// generator; see internal/socgen for the determinism contract.
+type GenOptions = socgen.Options
+
+// GenClass is a synthetic design size class for GenOptions.Class.
+type GenClass = socgen.Class
+
+// The synthetic design size classes, smallest first.
+const (
+	GenSmall  = socgen.Small
+	GenMedium = socgen.Medium
+	GenLarge  = socgen.Large
+)
+
+// ParseGenClass parses a size-class name ("small", "medium", "large").
+func ParseGenClass(s string) (GenClass, error) { return socgen.ParseClass(s) }
+
+// Generate returns the seeded synthetic mixed-signal design for opt.
+// Equal options generate byte-identical designs (same .soc text, same
+// canonical JSON), and every generated design passes validation and
+// round-trips through the .soc format — the supply behind msoc-gen and
+// the property-based test layer.
+func Generate(opt GenOptions) (*Design, error) { return socgen.Generate(opt) }
+
+// GenerateSOC returns only the digital half of Generate's design.
+func GenerateSOC(opt GenOptions) (*SOC, error) { return socgen.GenerateSOC(opt) }
 
 // PaperAnalogCores returns fresh copies of the five Table 2 cores.
 func PaperAnalogCores() []*AnalogCore { return analog.PaperCores() }
