@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +50,8 @@ import (
 	"mixsoc/internal/analog"
 	"mixsoc/internal/core"
 	"mixsoc/internal/experiments"
+	"mixsoc/internal/registry"
+	"mixsoc/internal/socgen"
 )
 
 type report struct {
@@ -128,6 +131,36 @@ func benchmarks() []benchmark {
 				"makespan": float64(res.Best.TestTime),
 			}, nil
 		}},
+		// plan-bounded runs the same exhaustive W=48 cell as
+		// plan-exhaustive with branch-and-bound pruning on. Its cost must
+		// track plan-exhaustive's bit for bit (pruning is exact); NEval
+		// and pruned record how much packing the bound saved.
+		{"plan-bounded", func() (map[string]float64, error) {
+			pl := core.NewPlanner(experiments.Design(), 48, core.EqualWeights)
+			pl.Bounded = true
+			res, err := pl.Exhaustive()
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"NEval":    float64(res.NEval),
+				"pruned":   float64(res.Pruned),
+				"cost":     res.Best.Cost,
+				"makespan": float64(res.Best.TestTime),
+			}, nil
+		}},
+		// The registry benchmarks pin Cost_Optimizer on SOCs the paper
+		// never ran: the small, mid-size and bottleneck-bound ITC'02
+		// families, each with their mixed-signal analog subset.
+		registryBenchmark("d695m", 32),
+		registryBenchmark("g1023m", 32),
+		registryBenchmark("t512505m", 32),
+		// near-dup-cache is the module-cache workload: one engine plans a
+		// generated design plus seven near-duplicates (one module's
+		// pattern count bumped each), the serving story for generated SOC
+		// populations. The stair hit/miss counters are deterministic
+		// contract numbers; the wall time is where the cache shows up.
+		{"near-dup-cache", nearDupCacheBenchmark},
 		// sweep-warm exercises the cross-width warm-start chain. Its
 		// wall time is the point; its metrics are intentionally NOT the
 		// cold sweep's (warm packing trades a few percent of schedule
@@ -151,13 +184,80 @@ func benchmarks() []benchmark {
 	}
 }
 
+// registryBenchmark times Cost_Optimizer on a named registry design at
+// the given TAM width, reported as plan-<name>.
+func registryBenchmark(name string, width int) benchmark {
+	return benchmark{"plan-" + name, func() (map[string]float64, error) {
+		d, err := registry.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		pl := core.NewPlanner(d, width, core.EqualWeights)
+		res, err := pl.CostOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"NEval":    float64(res.NEval),
+			"cost":     res.Best.Cost,
+			"makespan": float64(res.Best.TestTime),
+		}, nil
+	}}
+}
+
+// nearDupCacheBenchmark plans a generated design and seven
+// near-duplicates of it on one shared engine. Every design differs from
+// the base in exactly one module, so the cross-design module staircase
+// store should serve all the unchanged modules from cache; the metrics
+// record that sharing (and the summed best costs, so a cache bug that
+// moved results would drift the trail).
+func nearDupCacheBenchmark() (map[string]float64, error) {
+	const variants = 8
+	base, err := socgen.Generate(socgen.Options{Seed: 7, Class: socgen.Small})
+	if err != nil {
+		return nil, err
+	}
+	designs := []*core.Design{base}
+	cores := base.Digital.Cores()
+	for i := 1; i < variants; i++ {
+		nd, err := core.CloneDesign(base)
+		if err != nil {
+			return nil, err
+		}
+		nd.Name = fmt.Sprintf("%s-rev%d", base.Name, i)
+		m := nd.Digital.Cores()[(i-1)%len(cores)]
+		if len(m.Tests) == 0 {
+			return nil, fmt.Errorf("generated module %d has no tests to perturb", m.ID)
+		}
+		m.Tests[0].Patterns += i
+		designs = append(designs, nd)
+	}
+	eng := core.NewEngine(core.EngineOptions{})
+	var costSum float64
+	for _, d := range designs {
+		res, err := eng.Plan(context.Background(), d, 16, core.EqualWeights)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		costSum += res.Best.Cost
+	}
+	em := eng.Metrics()
+	return map[string]float64{
+		"designs":     variants,
+		"stairHits":   float64(em.ModuleStairs.Hits),
+		"stairMisses": float64(em.ModuleStairs.Misses),
+		"jobBuilds":   float64(em.DigitalJobs.Misses),
+		"costSum":     costSum,
+	}, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("msoc-bench: ")
 	out := flag.String("out", ".", "directory for the BENCH_*.json files")
 	repeat := flag.Int("repeat", 3, "runs per benchmark; the best wall time is reported")
 	workers := flag.Int("workers", 0, "cap the worker pool (0 = all CPUs)")
-	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, sweep-warm, or all")
+	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, plan-bounded, plan-d695m, plan-g1023m, plan-t512505m, near-dup-cache, sweep-warm, or all")
 	compare := flag.Bool("compare", false, "compare two perf trails (files or directories) given as positional args and exit non-zero on regression")
 	trend := flag.Bool("trend", false, "print per-benchmark wall-time trajectories across the trails given as positional args (chronological order) and exit non-zero on regression")
 	shardSpec := flag.String("shard", "", "compute one shard of the experiment grid, as N/M (e.g. 0/2); writes SHARD_N_of_M.json into -out")

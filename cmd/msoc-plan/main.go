@@ -5,7 +5,7 @@
 // Usage:
 //
 //	msoc-plan [-soc file.soc | -benchmark name] [-width 32] [-wt 0.5]
-//	          [-exhaustive] [-gantt] [-json]
+//	          [-exhaustive] [-bounded] [-gantt] [-json]
 //	          [-sweep [-widths 32,40,48,56,64] [-wts 0.5,0.25,0.75]]
 //	          [-server http://host:8093 [-poll 500ms]]
 //
@@ -64,6 +64,7 @@ func main() {
 	width := flag.Int("width", 32, "SOC-level TAM width W")
 	wt := flag.Float64("wt", 0.5, "test-time cost weight wT (wA = 1 - wT)")
 	exhaustive := flag.Bool("exhaustive", false, "use exhaustive evaluation instead of Cost_Optimizer")
+	bounded := flag.Bool("bounded", false, "prune candidates with the admissible cost lower bound (same answer, fewer packings)")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	csvPath := flag.String("csv", "", "write the schedule as CSV to this file")
 	sweep := flag.Bool("sweep", false, "sweep the -widths × -wts grid instead of a single plan")
@@ -115,24 +116,25 @@ func main() {
 			log.Fatalf("-wts: %v", err)
 		}
 		if *server != "" {
-			runServerSweep(*server, design, *socPath != "", *benchmark, widths, wts, *exhaustive, *pollEvery)
+			runServerSweep(*server, design, *socPath != "", *benchmark, widths, wts, *exhaustive, *bounded, *pollEvery)
 			return
 		}
 		if *jsonOut {
-			printSweepJSON(design, *socPath != "", *benchmark, widths, wts, *exhaustive)
+			printSweepJSON(design, *socPath != "", *benchmark, widths, wts, *exhaustive, *bounded)
 			return
 		}
-		runSweep(design, widths, wts, *exhaustive)
+		runSweep(design, widths, wts, *exhaustive, *bounded)
 		return
 	}
 
 	if *jsonOut {
-		printJSON(design, *socPath != "", *benchmark, *width, *wt, *exhaustive)
+		printJSON(design, *socPath != "", *benchmark, *width, *wt, *exhaustive, *bounded)
 		return
 	}
 
 	weights := mixsoc.Weights{Time: *wt, Area: 1 - *wt}
 	planner := mixsoc.NewPlanner(design, *width, weights)
+	planner.Bounded = *bounded
 
 	var (
 		res *mixsoc.Result
@@ -206,12 +208,12 @@ func parseFloats(s string) ([]float64, error) {
 
 // runSweep prints the cost surface over the requested width range and
 // weight settings and the overall cheapest point.
-func runSweep(design *mixsoc.Design, widths []int, wts []float64, exhaustive bool) {
+func runSweep(design *mixsoc.Design, widths []int, wts []float64, exhaustive, bounded bool) {
 	weights := make([]mixsoc.Weights, len(wts))
 	for i, wt := range wts {
 		weights[i] = mixsoc.Weights{Time: wt, Area: 1 - wt}
 	}
-	points, err := mixsoc.Sweep(design, widths, weights, exhaustive)
+	points, err := mixsoc.SweepWith(design, widths, weights, mixsoc.SweepOptions{Exhaustive: exhaustive, Bounded: bounded})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -251,8 +253,8 @@ func method(exhaustive bool) string {
 // POST /v1/plan returns for the same request. Unlike a server, the CLI
 // imposes no planning deadline (the response bytes are unaffected — a
 // deadline can only abort a plan, never change one).
-func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, wt float64, exhaustive bool) {
-	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive, Benchmark: benchmark}
+func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, wt float64, exhaustive, bounded bool) {
+	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {
@@ -274,8 +276,8 @@ func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, 
 // server's POST /v1/sweeps (identical re-submissions reattach to the
 // existing job), poll until the job is terminal, and print the result
 // bytes — the same bytes -json -sweep prints locally — to stdout.
-func runServerSweep(server string, design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive bool, pollEvery time.Duration) {
-	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Benchmark: benchmark}
+func runServerSweep(server string, design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive, bounded bool, pollEvery time.Duration) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {
@@ -347,8 +349,8 @@ func decodeJob(resp *http.Response) *service.JobResponse {
 // msoc-serve POST /v1/sweep returns for the same grid — the in-process
 // reference the distributed-smoke CI job diffs a coordinator's merged
 // response against.
-func printSweepJSON(design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive bool) {
-	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Benchmark: benchmark}
+func printSweepJSON(design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive, bounded bool) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {

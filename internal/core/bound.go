@@ -1,0 +1,74 @@
+package core
+
+// Branch-and-bound support for the planner's opt-in Bounded mode: an
+// admissible per-candidate cost lower bound derived from the wrapper
+// staircases, cheap enough to evaluate without running the TAM packer.
+//
+// The bound on the makespan side is tam.AdmissibleLowerBound over the
+// exact job set the packer would receive — the width-capacity floor
+// (each job's cheapest usable wire-cycle area, summed and divided by
+// the TAM width W), the longest single job, and the serialization
+// floor of each analog wrapper group (every test behind one shared
+// wrapper runs serially, so the busiest group's total cycles bound the
+// makespan from below; this subsumes the analog LTB of equation 2).
+// Dividing by the all-share time turns it into a CT lower bound, and
+// adding the exact area term wA·CA — which needs no TAM run — makes it
+// a cost lower bound:
+//
+//	wT·(100·LB/T_allshare) + wA·CA  ≤  wT·CT + wA·CA  =  Cost
+//
+// A candidate whose bound is ≥ the incumbent's cost therefore cannot
+// *strictly* beat it, and the planner's incumbent only ever moves on a
+// strict improvement — so pruning such candidates changes neither the
+// best cost bits nor the selected configuration, only how many
+// candidates get packed (NEval and Result.Pruned).
+
+import (
+	"mixsoc/internal/partition"
+	"mixsoc/internal/tam"
+)
+
+// LowerBound returns the admissible cost lower bound Bounded mode
+// prunes candidate p with, given the all-share normalization time: it
+// never exceeds the cost a full TAM evaluation of p reports. Exported
+// for the property suite that pins that admissibility across seeded
+// designs; planning calls use the evaluator-cached equivalent.
+func (pl *Planner) LowerBound(p partition.Partition, allShare int64) (float64, error) {
+	cm, _, err := pl.defaults()
+	if err != nil {
+		return 0, err
+	}
+	ca, _, err := costParts(pl.Design, cm, p)
+	if err != nil {
+		return 0, err
+	}
+	jobs, err := BuildJobs(pl.Design, p, pl.Width)
+	if err != nil {
+		return 0, err
+	}
+	return pl.boundCost(jobs, ca, allShare), nil
+}
+
+// boundAt is LowerBound on the planner's hot path: it reuses the
+// evaluator's cached digital job set (identical to a fresh BuildJobs —
+// staircases are content-determined) and the candidate's already
+// computed area term.
+func (pl *Planner) boundAt(e *Evaluator, p partition.Partition, ca float64, allShare int64) (float64, error) {
+	digital, err := e.digitalJobs()
+	if err != nil {
+		return 0, err
+	}
+	jobs, err := appendAnalogJobs(digital, pl.Design, p)
+	if err != nil {
+		return 0, err
+	}
+	return pl.boundCost(jobs, ca, allShare), nil
+}
+
+// boundCost folds a makespan lower bound over jobs into a cost lower
+// bound at the planner's weights.
+func (pl *Planner) boundCost(jobs []*tam.Job, ca float64, allShare int64) float64 {
+	lb := tam.AdmissibleLowerBound(jobs, pl.Width)
+	ctLB := 100 * float64(lb) / float64(allShare)
+	return pl.Weights.Time*ctLB + pl.Weights.Area*ca
+}

@@ -67,25 +67,29 @@ type analogTestJSON struct {
 	Resolution int     `json:"resolution"`
 }
 
+func toModuleJSON(m *itc02.Module) moduleJSON {
+	mj := moduleJSON{
+		ID:      m.ID,
+		Name:    m.Name,
+		Level:   m.Level,
+		Inputs:  m.Inputs,
+		Outputs: m.Outputs,
+		Bidirs:  m.Bidirs,
+		Scan:    m.Scan,
+	}
+	for _, t := range m.Tests {
+		mj.Tests = append(mj.Tests, testJSON{ID: t.ID, Patterns: t.Patterns, ScanUse: t.ScanUse, TamUse: t.TamUse})
+	}
+	return mj
+}
+
 func toDesignJSON(d *Design) designJSON {
 	out := designJSON{Name: d.Name}
 	if d.Digital != nil {
 		out.Digital.Name = d.Digital.Name
 		out.Digital.Modules = make([]moduleJSON, len(d.Digital.Modules))
 		for i, m := range d.Digital.Modules {
-			mj := moduleJSON{
-				ID:      m.ID,
-				Name:    m.Name,
-				Level:   m.Level,
-				Inputs:  m.Inputs,
-				Outputs: m.Outputs,
-				Bidirs:  m.Bidirs,
-				Scan:    m.Scan,
-			}
-			for _, t := range m.Tests {
-				mj.Tests = append(mj.Tests, testJSON{ID: t.ID, Patterns: t.Patterns, ScanUse: t.ScanUse, TamUse: t.TamUse})
-			}
-			out.Digital.Modules[i] = mj
+			out.Digital.Modules[i] = toModuleJSON(m)
 		}
 	}
 	for _, c := range d.Analog {
@@ -194,6 +198,48 @@ func DesignHash(d *Design) (string, error) {
 	dj := toDesignJSON(d)
 	dj.Name = ""
 	data, err := json.Marshal(dj)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ModuleHash returns a digital module's content hash: the hex SHA-256
+// of its canonical JSON with the ID and display name zeroed. A wrapper
+// staircase depends only on the module's pins, scan chains and tests —
+// exactly what survives the zeroing — so two modules with equal hashes
+// have bit-identical staircases at every width, which is what lets the
+// Engine share staircase work across near-duplicate designs (see
+// wrapper.ModuleStairStore).
+func ModuleHash(m *itc02.Module) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("core: cannot hash a nil module")
+	}
+	mj := toModuleJSON(m)
+	mj.ID = 0
+	mj.Name = ""
+	data, err := json.Marshal(mj)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// DigitalHash returns the content hash of the design's digital SOC: the
+// hex SHA-256 of its canonical JSON with only the SOC display name
+// excluded. Module IDs and names stay in — TAM job IDs derive from
+// them — so two designs with equal digital hashes build bit-identical
+// digital job slices at every width, the property the Engine's
+// cross-design digital-jobs cache keys on (see DigitalJobsCache).
+func DigitalHash(d *Design) (string, error) {
+	if d == nil || d.Digital == nil {
+		return "", fmt.Errorf("core: cannot hash a nil digital SOC")
+	}
+	dj := toDesignJSON(d)
+	dj.Digital.Name = ""
+	data, err := json.Marshal(dj.Digital)
 	if err != nil {
 		return "", err
 	}

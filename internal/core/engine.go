@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mixsoc/internal/itc02"
 	"mixsoc/internal/partition"
 	"mixsoc/internal/tam"
 	"mixsoc/internal/wrapper"
@@ -31,6 +32,19 @@ type EngineOptions struct {
 	// DefaultWorkers. The worker count never changes results — parallel
 	// planners replay deterministically — only wall-clock.
 	Workers int
+	// DisableModuleCache turns off the cross-design module-level caches:
+	// wrapper staircases keyed by module content hash and digital TAM
+	// jobs keyed by digital-SOC hash. Sessions then cache per design
+	// only, as before the caches existed. Results are bit-identical
+	// either way; the flag is an A/B benchmarking and operational escape
+	// hatch.
+	DisableModuleCache bool
+	// MaxModuleStairs bounds the cross-design staircase store: one entry
+	// per distinct module content hash. Default 4096.
+	MaxModuleStairs int
+	// MaxDigitalJobs bounds the cross-design digital-jobs cache: one
+	// entry per distinct (digital SOC, width) pair. Default 128.
+	MaxDigitalJobs int
 }
 
 // Engine is a long-lived planning handle: it owns a staircase cache and
@@ -45,6 +59,15 @@ type EngineOptions struct {
 // A zero-valued Engine is not usable; construct with NewEngine.
 type Engine struct {
 	opts EngineOptions
+
+	// The cross-design module-level caches (nil when disabled): every
+	// session's staircase cache routes through moduleStairs under module
+	// content hashes, and every session's evaluators draw built digital
+	// job slices from digitalJobs under the design's DigitalHash — so
+	// near-duplicate designs, which never share a session, still share
+	// the wrapper work their common modules imply.
+	moduleStairs *wrapper.ModuleStairStore
+	digitalJobs  *DigitalJobsCache
 
 	mu       sync.Mutex
 	sessions map[string]*engineSession
@@ -62,9 +85,13 @@ type Engine struct {
 // engine-owned design copy, its cross-width staircase cache, and one
 // cold schedule cache per TAM width.
 type engineSession struct {
+	engine    *Engine
 	hash      string
 	design    *Design
-	maxWidths int // schedule caches kept before width-LRU eviction
+	// digitalHash keys the engine's cross-design digital-jobs cache;
+	// empty when hashing failed or the module cache is disabled.
+	digitalHash string
+	maxWidths   int // schedule caches kept before width-LRU eviction
 
 	plans atomic.Uint64 // planning calls served
 
@@ -93,7 +120,18 @@ func NewEngine(opts EngineOptions) *Engine {
 	if opts.MaxWidthCaches < 1 {
 		opts.MaxWidthCaches = 32
 	}
-	return &Engine{opts: opts, sessions: map[string]*engineSession{}}
+	if opts.MaxModuleStairs < 1 {
+		opts.MaxModuleStairs = 4096
+	}
+	if opts.MaxDigitalJobs < 1 {
+		opts.MaxDigitalJobs = 128
+	}
+	e := &Engine{opts: opts, sessions: map[string]*engineSession{}}
+	if !opts.DisableModuleCache {
+		e.moduleStairs = wrapper.NewModuleStairStore(opts.MaxWidth, opts.MaxModuleStairs)
+		e.digitalJobs = NewDigitalJobsCache(opts.MaxDigitalJobs)
+	}
+	return e
 }
 
 func (e *Engine) workers() int {
@@ -135,11 +173,17 @@ func (e *Engine) session(d *Design) (*engineSession, error) {
 		return nil, err
 	}
 	s := &engineSession{
+		engine:    e,
 		hash:      hash,
 		design:    clone,
 		maxWidths: e.opts.MaxWidthCaches,
-		stairs:    wrapper.NewStaircaseCache(e.opts.MaxWidth),
 		byWidth:   map[int]*widthCache{},
+	}
+	s.stairs = s.newStairs(e.opts.MaxWidth)
+	if e.digitalJobs != nil {
+		// A failed hash (practically impossible) leaves the key empty,
+		// which simply opts the session out of digital-jobs sharing.
+		s.digitalHash, _ = DigitalHash(clone)
 	}
 
 	e.mu.Lock()
@@ -186,6 +230,23 @@ func (s *engineSession) scheduleStats() CacheStats {
 	return st
 }
 
+// newStairs builds a session staircase cache up to maxW, routed through
+// the engine's cross-design store when the module cache is enabled, so
+// identical modules of different designs share their staircases.
+func (s *engineSession) newStairs(maxW int) *wrapper.StaircaseCache {
+	sc := wrapper.NewStaircaseCache(maxW)
+	if s.engine.moduleStairs != nil {
+		sc.Share(s.engine.moduleStairs, func(m *itc02.Module) string {
+			h, err := ModuleHash(m)
+			if err != nil {
+				return ""
+			}
+			return h
+		})
+	}
+	return sc
+}
+
 // sweepStairs implements sweepCaches: the session's staircase cache,
 // grown (replaced by a wider, initially empty one) when a sweep needs
 // widths beyond what it precomputes. The prefix property makes a wider
@@ -194,9 +255,15 @@ func (s *engineSession) sweepStairs(maxW int) *wrapper.StaircaseCache {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if maxW > s.stairs.MaxWidth() {
-		s.stairs = wrapper.NewStaircaseCache(maxW)
+		s.stairs = s.newStairs(maxW)
 	}
 	return s.stairs
+}
+
+// sweepDigital implements sweepDigitalJobs: sweeps over this session
+// draw built digital job slices from the engine's cross-design cache.
+func (s *engineSession) sweepDigital() (*DigitalJobsCache, string) {
+	return s.engine.digitalJobs, s.digitalHash
 }
 
 // sweepCache implements sweepCaches: the session's cold schedule cache
@@ -236,8 +303,19 @@ func (s *engineSession) planner(width int, w Weights, workers int) *Planner {
 	pl := NewPlanner(s.design, width, w)
 	pl.Cache = s.sweepCache(width)
 	pl.Staircases = s.sweepStairs(width)
+	pl.Digital, pl.DigitalKey = s.sweepDigital()
 	pl.Workers = workers
 	return pl
+}
+
+// PlanOptions selects the solver variant of Engine.PlanWith.
+type PlanOptions struct {
+	// Exhaustive evaluates every candidate configuration (the paper's
+	// baseline) instead of the Cost_Optimizer heuristic.
+	Exhaustive bool
+	// Bounded enables branch-and-bound pruning; best cost and selection
+	// stay bit-identical to an unbounded solve (see Planner.Bounded).
+	Bounded bool
 }
 
 // Plan runs the paper's Cost_Optimizer heuristic on the design at TAM
@@ -246,24 +324,29 @@ func (s *engineSession) planner(width int, w Weights, workers int) *Planner {
 // bit-identical to a one-shot Plan call: caches only deduplicate
 // deterministic work, and each call accounts its own evaluations.
 func (e *Engine) Plan(ctx context.Context, d *Design, width int, w Weights) (*Result, error) {
-	s, err := e.session(d)
-	if err != nil {
-		return nil, err
-	}
-	s.plans.Add(1)
-	e.plans.Add(1)
-	return s.planner(width, w, e.workers()).CostOptimizerContext(ctx)
+	return e.PlanWith(ctx, d, width, w, PlanOptions{})
 }
 
 // PlanExhaustive is Plan with the exhaustive baseline solver.
 func (e *Engine) PlanExhaustive(ctx context.Context, d *Design, width int, w Weights) (*Result, error) {
+	return e.PlanWith(ctx, d, width, w, PlanOptions{Exhaustive: true})
+}
+
+// PlanWith is Plan with explicit solver options, the entry point the
+// serving layer's bounded and batch requests use.
+func (e *Engine) PlanWith(ctx context.Context, d *Design, width int, w Weights, opts PlanOptions) (*Result, error) {
 	s, err := e.session(d)
 	if err != nil {
 		return nil, err
 	}
 	s.plans.Add(1)
 	e.plans.Add(1)
-	return s.planner(width, w, e.workers()).ExhaustiveContext(ctx)
+	pl := s.planner(width, w, e.workers())
+	pl.Bounded = opts.Bounded
+	if opts.Exhaustive {
+		return pl.ExhaustiveContext(ctx)
+	}
+	return pl.CostOptimizerContext(ctx)
 }
 
 // Schedule returns the packed TAM schedule for one sharing
@@ -279,6 +362,7 @@ func (e *Engine) Schedule(ctx context.Context, d *Design, p partition.Partition,
 	e.plans.Add(1)
 	ev := NewSharedEvaluator(s.design, width, s.sweepCache(width))
 	ev.Staircases = s.sweepStairs(width)
+	ev.Digital, ev.DigitalKey = s.sweepDigital()
 	return ev.ScheduleContext(ctx, p)
 }
 
@@ -361,6 +445,20 @@ type EngineMetrics struct {
 	ScheduleTotal CacheStats `json:"schedule_total"`
 	// Schedules is the total number of cached TAM schedules.
 	Schedules int `json:"schedules"`
+	// ModuleStairs counts how the cross-design staircase store served
+	// module staircase requests: a miss designed a wrapper (or grew an
+	// entry), a hit reused one — including hits between sessions of
+	// near-duplicate designs. Zero when the module cache is disabled.
+	ModuleStairs CacheStats `json:"module_stairs"`
+	// ModuleStairEntries is the number of distinct module content hashes
+	// the staircase store currently holds.
+	ModuleStairEntries int `json:"module_stair_entries"`
+	// DigitalJobs counts how the cross-design digital-jobs cache served
+	// job-slice requests, one per (design, width) evaluator spin-up.
+	DigitalJobs CacheStats `json:"digital_jobs"`
+	// DigitalJobEntries is the number of (digital SOC, width) job slices
+	// currently cached.
+	DigitalJobEntries int `json:"digital_job_entries"`
 	// Plans is the engine-lifetime count of planning calls (Plan,
 	// PlanExhaustive, Schedule, Sweep), across live and evicted sessions.
 	Plans uint64 `json:"plans"`
@@ -378,6 +476,10 @@ func (e *Engine) Metrics() EngineMetrics {
 		Evictions:    e.evictions.Load(),
 		Plans:        e.plans.Load(),
 	}
+	m.ModuleStairs.Hits, m.ModuleStairs.Misses = e.moduleStairs.Stats()
+	m.ModuleStairEntries = e.moduleStairs.Len()
+	m.DigitalJobs = e.digitalJobs.Stats()
+	m.DigitalJobEntries = e.digitalJobs.Len()
 	e.mu.Lock()
 	m.ScheduleTotal = e.retired
 	sessions := make([]*engineSession, 0, len(e.sessions))

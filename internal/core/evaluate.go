@@ -145,6 +145,13 @@ type Evaluator struct {
 	// before the evaluator's first use.
 	Staircases *wrapper.StaircaseCache
 
+	// Digital, when non-nil together with a non-empty DigitalKey, serves
+	// the design's digital TAM jobs from a cross-design cache keyed by
+	// (DigitalKey, Width) — see DigitalJobsCache. DigitalKey must be the
+	// design's DigitalHash. Set both before the evaluator's first use.
+	Digital    *DigitalJobsCache
+	DigitalKey string
+
 	// Warm lists the schedule caches of adjacent TAM widths, nearest
 	// first: configurations already packed there seed this evaluator's
 	// TAM runs via tam.WithWarmStart, the best adoption winning (a
@@ -196,7 +203,9 @@ func (e *Evaluator) Runs() int {
 
 func (e *Evaluator) digitalJobs() ([]*tam.Job, error) {
 	e.digOnce.Do(func() {
-		e.digital, e.digitalErr = DigitalJobsWith(e.Design, e.Width, e.Staircases)
+		e.digital, e.digitalErr = e.Digital.jobs(e.DigitalKey, e.Width, func() ([]*tam.Job, error) {
+			return DigitalJobsWith(e.Design, e.Width, e.Staircases)
+		})
 	})
 	return e.digital, e.digitalErr
 }

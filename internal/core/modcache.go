@@ -1,0 +1,111 @@
+package core
+
+// The cross-design digital-jobs cache: the second half of the Engine's
+// module-level caching (the first, wrapper.ModuleStairStore, shares
+// staircases module by module). Building a design's digital TAM jobs is
+// deterministic in (digital SOC content, TAM width), so designs that
+// share a digital SOC — the same chip planned against different analog
+// fits, or re-uploads of one SOC under new names — can share the built
+// job slices outright. Jobs are shared read-only, the same contract the
+// packer already honors for the staircase points inside them.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mixsoc/internal/tam"
+)
+
+// DigitalJobsCache deduplicates digital TAM-job construction across
+// designs, keyed by (digital content hash, TAM width). Construction is
+// single-flight per key: concurrent requesters wait for the one builder
+// rather than duplicate the wrapper-design work. Safe for concurrent
+// use; a nil cache (or empty key) builds from scratch.
+type DigitalJobsCache struct {
+	maxEntries int
+
+	hits, misses atomic.Uint64
+
+	mu sync.Mutex
+	m  map[digitalJobsKey]*digitalJobsEntry
+}
+
+type digitalJobsKey struct {
+	hash  string
+	width int
+}
+
+type digitalJobsEntry struct {
+	done chan struct{} // closed once jobs/err are final
+	jobs []*tam.Job
+	err  error
+}
+
+// NewDigitalJobsCache returns a cache keeping at most maxEntries
+// (hash, width) job slices; an arbitrary other entry is evicted past
+// the cap.
+func NewDigitalJobsCache(maxEntries int) *DigitalJobsCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &DigitalJobsCache{maxEntries: maxEntries, m: map[digitalJobsKey]*digitalJobsEntry{}}
+}
+
+// jobs returns the digital job slice for (hash, width), building it
+// with build on first use. The returned slice and the jobs in it are
+// shared and must be treated as read-only.
+func (c *DigitalJobsCache) jobs(hash string, width int, build func() ([]*tam.Job, error)) ([]*tam.Job, error) {
+	if c == nil || hash == "" {
+		return build()
+	}
+	k := digitalJobsKey{hash: hash, width: width}
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil {
+		e = &digitalJobsEntry{done: make(chan struct{})}
+		c.m[k] = e
+		c.evictLocked(k)
+		c.mu.Unlock()
+		c.misses.Add(1)
+		e.jobs, e.err = build()
+		close(e.done)
+	} else {
+		c.mu.Unlock()
+		<-e.done
+		c.hits.Add(1)
+	}
+	return e.jobs, e.err
+}
+
+// evictLocked drops arbitrary entries other than keep until the cache
+// is within its cap. Evicting an in-flight entry is safe: its builder
+// still completes it for the waiters holding the pointer.
+func (c *DigitalJobsCache) evictLocked(keep digitalJobsKey) {
+	for len(c.m) > c.maxEntries {
+		for k := range c.m {
+			if k != keep {
+				delete(c.m, k)
+				break
+			}
+		}
+	}
+}
+
+// Stats returns the cache's lifetime hit/miss counters: a miss built a
+// digital job slice, a hit reused one.
+func (c *DigitalJobsCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of cached (hash, width) entries.
+func (c *DigitalJobsCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

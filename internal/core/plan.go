@@ -36,6 +36,16 @@ type Planner struct {
 	// is what keeps NEval near 10 of 26; it is heuristic, exactly as the
 	// paper's results table shows (optimal "in all but one case").
 	PrunePrelim bool
+	// Bounded enables branch-and-bound pruning: candidates whose
+	// admissible cost lower bound (see Planner.LowerBound) cannot
+	// strictly beat the incumbent are skipped without a TAM run. The
+	// best cost and selected configuration are bit-identical to an
+	// unbounded solve — the bound never exceeds the true cost, and the
+	// incumbent only moves on a strict improvement — but NEval and
+	// Evaluated shrink to the survivors, with Result.Pruned counting
+	// the skips. Off by default, so the paper tables and golden NEval
+	// are untouched.
+	Bounded bool
 	// Workers bounds the TAM-evaluation concurrency; 0 means one worker
 	// per available CPU (DefaultWorkers). With more than one worker the
 	// planner prefetches schedules in parallel and then replays the
@@ -50,6 +60,10 @@ type Planner struct {
 	// design-level cache shared across widths (see
 	// wrapper.StaircaseCache).
 	Staircases *wrapper.StaircaseCache
+	// Digital and DigitalKey, when both set, serve the design's digital
+	// TAM jobs from a cross-design cache (see Evaluator.Digital).
+	Digital    *DigitalJobsCache
+	DigitalKey string
 	// Warm lists the completed schedule caches of adjacent widths used
 	// to seed TAM runs, nearest width first (see Evaluator.Warm).
 	// Warm-started packing is not guaranteed to reproduce cold makespans
@@ -81,6 +95,11 @@ type Result struct {
 	Infeasible int          // candidates rejected by the feasibility rule
 	AllShare   int64        // T(all-share), the CT normalization base
 	Evaluated  []Evaluation // every configuration that got a TAM run
+	// Pruned counts the candidates Bounded mode skipped without a TAM
+	// run because their cost lower bound could not beat the incumbent.
+	// Always zero outside Bounded mode and omitted from JSON then, so
+	// default plan responses carry byte-identical bodies.
+	Pruned int `json:",omitempty"`
 }
 
 // ReductionPercent is Table 4's ΔE: the percentage of TAM evaluations
@@ -120,6 +139,8 @@ func (pl *Planner) workers() int {
 func (pl *Planner) evaluator() *Evaluator {
 	e := NewSharedEvaluator(pl.Design, pl.Width, pl.Cache)
 	e.Staircases = pl.Staircases
+	e.Digital = pl.Digital
+	e.DigitalKey = pl.DigitalKey
 	e.Warm = pl.Warm
 	return e
 }
@@ -168,7 +189,9 @@ func feasibleCandidates(cm analog.CostModel, d *Design, cands []partition.Partit
 // optimal with respect to the candidate set, at NEval = |candidates|.
 // With more than one worker the TAM runs are fanned across the pool and
 // the results merged in candidate order, so the Result is identical to a
-// sequential run.
+// sequential run. With Bounded set, candidates whose cost lower bound
+// cannot beat the incumbent are skipped (NEval < |candidates|) without
+// changing the best cost or selection.
 func (pl *Planner) Exhaustive() (*Result, error) {
 	return pl.ExhaustiveContext(context.Background())
 }
@@ -194,8 +217,11 @@ func (pl *Planner) ExhaustiveContext(ctx context.Context) (*Result, error) {
 	}
 
 	// Warm the cache in parallel: the all-share normalization point plus
-	// every feasible candidate. Errors surface in the replay below.
-	if pl.workers() > 1 {
+	// every feasible candidate. Errors surface in the replay below. In
+	// Bounded mode packing everything would defeat the pruning, so the
+	// speculative pass below runs instead, once the normalization time
+	// is known.
+	if pl.workers() > 1 && !pl.Bounded {
 		allShareP := pl.Design.AllShare()
 		if err := ForEachCtx(ctx, len(feasible)+1, pl.workers(), func(i int) {
 			if i == 0 {
@@ -213,9 +239,51 @@ func (pl *Planner) ExhaustiveContext(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 
+	// Bounded speculative prefetch: pack candidates in parallel under an
+	// atomically tightening incumbent, skipping those whose bound cannot
+	// win. The sequential replay below is the sole authority on which
+	// candidates are evaluated (and hence on NEval and Pruned) — a
+	// speculative packing the replay prunes is cached but never counted.
+	if pl.workers() > 1 && pl.Bounded {
+		inc := newIncumbent(math.Inf(1))
+		if err := ForEachCtx(ctx, len(feasible), pl.workers(), func(i int) {
+			p := feasible[i]
+			ca, _, err := costParts(pl.Design, cm, p)
+			if err != nil {
+				return // the replay reports it deterministically
+			}
+			lb, err := pl.boundAt(e, p, ca, allShare)
+			if err != nil || lb >= inc.load() {
+				return
+			}
+			s, err := e.scheduleUncounted(ctx, p)
+			if err != nil {
+				return
+			}
+			ct := 100 * float64(s.Makespan) / float64(allShare)
+			inc.lower(pl.Weights.Time*ct + pl.Weights.Area*ca)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{Method: "exhaustive", Candidates: len(cands), Infeasible: rejected, AllShare: allShare}
 	best := -1
 	for _, p := range feasible {
+		if pl.Bounded && best >= 0 {
+			ca, _, err := costParts(pl.Design, cm, p)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := pl.boundAt(e, p, ca, allShare)
+			if err != nil {
+				return nil, err
+			}
+			if lb >= res.Evaluated[best].Cost {
+				res.Pruned++
+				continue
+			}
+		}
 		ev, err := pl.evalAt(ctx, e, cm, p, allShare)
 		if err != nil {
 			return nil, err
@@ -411,6 +479,12 @@ func (pl *Planner) CostOptimizerContext(ctx context.Context) (*Result, error) {
 			if pl.PrunePrelim && m.prelim >= bound.load() {
 				return
 			}
+			if pl.Bounded {
+				lb, err := pl.boundAt(e, m.p, m.ca, allShare)
+				if err != nil || lb >= bound.load() {
+					return
+				}
+			}
 			s, err := e.scheduleUncounted(ctx, m.p)
 			if err != nil {
 				return // the replay reports it deterministically
@@ -430,6 +504,16 @@ func (pl *Planner) CostOptimizerContext(ctx context.Context) (*Result, error) {
 		for _, m := range r.g.members[1:] {
 			if pl.PrunePrelim && m.prelim >= best.Cost {
 				continue
+			}
+			if pl.Bounded {
+				lb, err := pl.boundAt(e, m.p, m.ca, allShare)
+				if err != nil {
+					return nil, err
+				}
+				if lb >= best.Cost {
+					res.Pruned++
+					continue
+				}
 			}
 			ev, err := pl.evalAt(ctx, e, cm, m.p, allShare)
 			if err != nil {

@@ -40,6 +40,13 @@ type SweepOptions struct {
 	// exploratory sweeps where throughput matters more than bit-exact
 	// reproducibility.
 	WarmStart bool
+	// Bounded enables branch-and-bound pruning per grid point: each
+	// planner skips packing candidates whose admissible cost lower
+	// bound cannot beat its incumbent (see Planner.Bounded). Every
+	// point's best cost and selection are bit-identical to an unbounded
+	// sweep; NEval and Evaluated shrink to the survivors, with
+	// Result.Pruned counting the skips.
+	Bounded bool
 	// Configure adjusts each planner before it runs, e.g. to change the
 	// cost model; it must not change the planner's Design, Width, or
 	// caches, and must be safe to call concurrently.
@@ -110,6 +117,13 @@ type sweepCaches interface {
 	sweepCache(w int) *ScheduleCache
 }
 
+// sweepDigitalJobs is an optional extension of sweepCaches: providers
+// that also share digital TAM-job construction across designs return
+// their cache and the design's DigitalHash key here.
+type sweepDigitalJobs interface {
+	sweepDigital() (*DigitalJobsCache, string)
+}
+
 // sweepWithCaches is the sweep engine room. Schedule caches come from
 // the provider only for cold sweeps: a WarmStart sweep packs along a
 // different search trajectory, so its schedules must never enter a
@@ -152,6 +166,13 @@ func sweepWithCaches(ctx context.Context, d *Design, widths []int, weights []Wei
 	} else {
 		stairs = wrapper.NewStaircaseCache(maxW)
 	}
+	var (
+		digCache *DigitalJobsCache
+		digKey   string
+	)
+	if dp, ok := prov.(sweepDigitalJobs); ok {
+		digCache, digKey = dp.sweepDigital()
+	}
 	caches := make(map[int]*ScheduleCache, len(selWidths))
 	for w := range selWidths {
 		if prov != nil && !opt.WarmStart {
@@ -169,8 +190,10 @@ func sweepWithCaches(ctx context.Context, d *Design, widths []int, weights []Wei
 		pl := NewPlanner(d, w, wt)
 		pl.Cache = caches[w]
 		pl.Staircases = stairs
+		pl.Digital, pl.DigitalKey = digCache, digKey
 		pl.Warm = warm
 		pl.Workers = inner
+		pl.Bounded = opt.Bounded
 		if opt.Configure != nil {
 			opt.Configure(pl)
 		}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"mixsoc/internal/analog"
+	"mixsoc/internal/core"
+	"mixsoc/internal/wrapper"
+)
+
+// Bounded mode's own golden snapshot. The paper tables pin the
+// unbounded solvers; this file pins the opt-in branch-and-bound mode on
+// the same grid: its costs and selections must equal the unbounded
+// golden bit for bit (pruning is an exact transformation), while its
+// NEval and Pruned counts — how much packing the bound saved — are
+// contract numbers of their own, captured in
+// testdata/golden_bounded.json and regenerated with the same -update
+// flag as the main snapshot.
+type goldenBoundedCell struct {
+	Width      int    `json:"width"`
+	WT         uint64 `json:"wt_bits"`
+	ExhCost    uint64 `json:"exh_cost_bits"`
+	ExhNEval   int    `json:"exh_neval"`
+	ExhPruned  int    `json:"exh_pruned"`
+	ExhSel     string `json:"exh_sel"`
+	HeurCost   uint64 `json:"heur_cost_bits"`
+	HeurNEval  int    `json:"heur_neval"`
+	HeurPruned int    `json:"heur_pruned"`
+	HeurSel    string `json:"heur_sel"`
+}
+
+type goldenBounded struct {
+	Cells []goldenBoundedCell `json:"cells"`
+}
+
+// boundedCells runs both solvers in Bounded mode over the paper grid,
+// weights-major like Table 4, and returns one row per cell.
+func boundedCells(t *testing.T) []goldenBoundedCell {
+	t.Helper()
+	d := Design()
+	names := d.AnalogNames()
+	stairs := wrapper.NewStaircaseCache(PaperWidths[len(PaperWidths)-1])
+	caches := make(map[int]*core.ScheduleCache, len(PaperWidths))
+	for _, w := range PaperWidths {
+		caches[w] = core.NewScheduleCache()
+	}
+	var cells []goldenBoundedCell
+	for _, wt := range PaperWeightSettings {
+		for _, w := range PaperWidths {
+			pl := core.NewPlanner(d, w, wt)
+			pl.CostModel = analog.PaperCostModel()
+			pl.Cache = caches[w]
+			pl.Staircases = stairs
+			pl.Bounded = true
+			ex, err := pl.Exhaustive()
+			if err != nil {
+				t.Fatalf("bounded exhaustive W=%d wT=%v: %v", w, wt.Time, err)
+			}
+			h, err := pl.CostOptimizer()
+			if err != nil {
+				t.Fatalf("bounded cost-optimizer W=%d wT=%v: %v", w, wt.Time, err)
+			}
+			cells = append(cells, goldenBoundedCell{
+				Width:      w,
+				WT:         math.Float64bits(wt.Time),
+				ExhCost:    math.Float64bits(ex.Best.Cost),
+				ExhNEval:   ex.NEval,
+				ExhPruned:  ex.Pruned,
+				ExhSel:     ex.Best.Label(names),
+				HeurCost:   math.Float64bits(h.Best.Cost),
+				HeurNEval:  h.NEval,
+				HeurPruned: h.Pruned,
+				HeurSel:    h.Best.Label(names),
+			})
+		}
+	}
+	return cells
+}
+
+func loadGoldenBounded(t *testing.T) *goldenBounded {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden_bounded.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g goldenBounded
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	return &g
+}
+
+// TestBoundedBitIdenticalToGolden holds bounded mode to its snapshot
+// and cross-checks it against the unbounded golden: identical cost bits
+// and selections cell by cell, with the pruned candidates exactly
+// accounting for the evaluations the unbounded solver ran.
+func TestBoundedBitIdenticalToGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweeps are slow")
+	}
+	g := loadGoldenBounded(t)
+	base := loadGolden(t)
+	cells := boundedCells(t)
+	if len(cells) != len(g.Cells) {
+		t.Fatalf("cells = %d, want %d", len(cells), len(g.Cells))
+	}
+	if len(cells) != len(base.Table4Cells) {
+		t.Fatalf("bounded grid has %d cells, Table 4 golden %d", len(cells), len(base.Table4Cells))
+	}
+	for i, want := range g.Cells {
+		if cells[i] != want {
+			t.Errorf("cell %d (W=%d): bounded run %+v diverged from golden %+v", i, cells[i].Width, cells[i], want)
+		}
+		t4 := base.Table4Cells[i]
+		if cells[i].Width != t4.Width || cells[i].WT != t4.WT {
+			t.Fatalf("cell %d: grid order diverged from Table 4 golden", i)
+		}
+		if cells[i].ExhCost != t4.ExhCost || cells[i].ExhSel != t4.ExhSel {
+			t.Errorf("cell %d (W=%d): bounded exhaustive result differs from unbounded golden", i, cells[i].Width)
+		}
+		if cells[i].HeurCost != t4.HeurCost || cells[i].HeurSel != t4.HeurSel {
+			t.Errorf("cell %d (W=%d): bounded heuristic result differs from unbounded golden", i, cells[i].Width)
+		}
+		if cells[i].ExhNEval+cells[i].ExhPruned != t4.ExhNEval {
+			t.Errorf("cell %d (W=%d): exhaustive NEval %d + pruned %d != unbounded %d",
+				i, cells[i].Width, cells[i].ExhNEval, cells[i].ExhPruned, t4.ExhNEval)
+		}
+		if cells[i].HeurNEval+cells[i].HeurPruned != t4.HeurNEval {
+			t.Errorf("cell %d (W=%d): heuristic NEval %d + pruned %d != unbounded %d",
+				i, cells[i].Width, cells[i].HeurNEval, cells[i].HeurPruned, t4.HeurNEval)
+		}
+	}
+}
+
+// TestUpdateBoundedGoldenSnapshot rewrites testdata/golden_bounded.json
+// when run with -update, alongside the main snapshot; otherwise it only
+// checks that the snapshot parses.
+func TestUpdateBoundedGoldenSnapshot(t *testing.T) {
+	if !*updateGolden {
+		loadGoldenBounded(t)
+		t.Skip("pass -update to regenerate testdata/golden_bounded.json")
+	}
+	g := goldenBounded{Cells: boundedCells(t)}
+	data, err := json.MarshalIndent(&g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_bounded.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("regenerated testdata/golden_bounded.json — record why in CHANGES.md")
+}

@@ -237,6 +237,7 @@ func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequ
 		Widths:     sp.widths,
 		WTs:        sp.wts,
 		Exhaustive: req.Exhaustive,
+		Bounded:    req.Bounded,
 		Shard:      shard,
 		Of:         of,
 	}

@@ -88,6 +88,9 @@ type JobResponse struct {
 	WTs []float64 `json:"wts"`
 	// Exhaustive records whether the job solves the exhaustive baseline.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Bounded records whether the job prunes with the admissible cost
+	// lower bound (see SweepRequest.Bounded).
+	Bounded bool `json:"bounded,omitempty"`
 	// ShardsDone counts the shards with a verified partial (checkpointed
 	// or recovered).
 	ShardsDone int `json:"shards_done"`
@@ -154,6 +157,7 @@ type jobManifest struct {
 	Widths     []int           `json:"widths"`
 	WTs        []float64       `json:"wts"`
 	Exhaustive bool            `json:"exhaustive,omitempty"`
+	Bounded    bool            `json:"bounded,omitempty"`
 	Of         int             `json:"of"`
 	CreatedAt  string          `json:"created_at"`
 }
@@ -241,11 +245,16 @@ func (m *jobManager) close() {
 
 // jobID derives the content key every equivalent sweep submission
 // shares: the design hash plus the normalized grid axes and the
-// exhaustive flag. Deterministic across processes and restarts, which
-// is what makes dedupe survive a coordinator crash.
-func jobID(sp *sweepSpec, exhaustive bool) string {
+// exhaustive and bounded flags. Deterministic across processes and
+// restarts, which is what makes dedupe survive a coordinator crash.
+// Unbounded jobs keep the pre-bounded key shape, so checkpoints
+// written by an older binary still re-derive their IDs at recovery.
+func jobID(sp *sweepSpec, exhaustive, bounded bool) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%v|%v|%t", sp.hash, sp.widths, sp.wts, exhaustive)
+	if bounded {
+		fmt.Fprintf(h, "|bounded")
+	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -273,7 +282,7 @@ func (m *jobManager) submit(req SweepRequest) (j *job, created bool, err error) 
 		return nil, false, badRequestf("durable jobs need duplicate-free width and wt axes (cells are checkpointed by grid coordinate)")
 	}
 
-	id := jobID(sp, req.Exhaustive)
+	id := jobID(sp, req.Exhaustive, req.Bounded)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if existing, ok := m.jobs[id]; ok {
@@ -309,6 +318,7 @@ func (m *jobManager) submit(req SweepRequest) (j *job, created bool, err error) 
 			Widths:     sp.widths,
 			WTs:        sp.wts,
 			Exhaustive: req.Exhaustive,
+			Bounded:    req.Bounded,
 			Of:         of,
 			CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		},
@@ -392,6 +402,7 @@ func (m *jobManager) run(j *job, sp *sweepSpec) {
 		Widths:     j.manifest.Widths,
 		WTs:        j.manifest.WTs,
 		Exhaustive: j.manifest.Exhaustive,
+		Bounded:    j.manifest.Bounded,
 	}
 	homes, fleetOK := m.srv.fleet.assign(sp.cells())
 
@@ -465,6 +476,7 @@ func (m *jobManager) solveShard(sp *sweepSpec, req SweepRequest, shard, of int, 
 		Widths:     req.Widths,
 		WTs:        req.WTs,
 		Exhaustive: req.Exhaustive,
+		Bounded:    req.Bounded,
 		Shard:      shard,
 		Of:         of,
 	})
@@ -616,6 +628,7 @@ func (j *job) status() *JobResponse {
 		Widths:      j.manifest.Widths,
 		WTs:         j.manifest.WTs,
 		Exhaustive:  j.manifest.Exhaustive,
+		Bounded:     j.manifest.Bounded,
 		ShardsDone:  j.done,
 		ShardsTotal: j.manifest.Of,
 		Shards:      make([]JobShardInfo, len(j.shards)),
@@ -674,7 +687,7 @@ func (m *jobManager) recoverJob(dir string) error {
 	if err != nil {
 		return fmt.Errorf("manifest does not validate: %w", err)
 	}
-	if man.ID != jobID(sp, man.Exhaustive) {
+	if man.ID != jobID(sp, man.Exhaustive, man.Bounded) {
 		return fmt.Errorf("manifest ID %s does not match its content key", man.ID)
 	}
 	if man.DesignHash != sp.hash {

@@ -46,6 +46,13 @@ const (
 	jobShardInvalid      = "invalid"
 )
 
+// The per-item outcome labels of msoc_batch_items_total.
+const (
+	batchItemOK      = "ok"
+	batchItemDeduped = "deduped"
+	batchItemError   = "error"
+)
+
 // durStat is a Prometheus summary without quantiles: total seconds and
 // observation count.
 type durStat struct {
@@ -92,6 +99,7 @@ type metricsRegistry struct {
 	jobShards   map[string]uint64
 	jobFinished map[string]*durStat // by terminal state
 	recoveries  uint64
+	batchItems  map[string]uint64
 }
 
 func newMetricsRegistry(capacity int) *metricsRegistry {
@@ -106,7 +114,19 @@ func newMetricsRegistry(capacity int) *metricsRegistry {
 		jobSubmits:  map[string]uint64{},
 		jobShards:   map[string]uint64{},
 		jobFinished: map[string]*durStat{},
+		batchItems:  map[string]uint64{},
 	}
+}
+
+// countBatch records one POST /v1/batch call's per-item outcomes: items
+// answered 200 (shared executions included), items served by another
+// item's execution, and items that failed.
+func (m *metricsRegistry) countBatch(ok, deduped, failed int) {
+	m.mu.Lock()
+	m.batchItems[batchItemOK] += uint64(ok)
+	m.batchItems[batchItemDeduped] += uint64(deduped)
+	m.batchItems[batchItemError] += uint64(failed)
+	m.mu.Unlock()
 }
 
 // observePanic counts one handler panic recovered into a 500.
@@ -301,6 +321,16 @@ func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []Wor
 	p.family("msoc_engine_schedule_cache_total", "Engine-lifetime TAM schedule cache lookups by outcome (includes evicted caches; a miss ran the TAM optimizer).", "counter")
 	p.value("msoc_engine_schedule_cache_total", labels{"result", "hit"}, float64(em.ScheduleTotal.Hits))
 	p.value("msoc_engine_schedule_cache_total", labels{"result", "miss"}, float64(em.ScheduleTotal.Misses))
+	p.family("msoc_module_cache_stairs_total", "Cross-design module staircase store lookups by outcome (a miss designed a wrapper staircase, a hit reused one — including across near-duplicate designs).", "counter")
+	p.value("msoc_module_cache_stairs_total", labels{"result", "hit"}, float64(em.ModuleStairs.Hits))
+	p.value("msoc_module_cache_stairs_total", labels{"result", "miss"}, float64(em.ModuleStairs.Misses))
+	p.family("msoc_module_cache_stair_entries", "Distinct module content hashes held by the cross-design staircase store.", "gauge")
+	p.value("msoc_module_cache_stair_entries", nil, float64(em.ModuleStairEntries))
+	p.family("msoc_module_cache_digital_jobs_total", "Cross-design digital TAM-job cache lookups by outcome (a miss built a job slice, a hit reused one).", "counter")
+	p.value("msoc_module_cache_digital_jobs_total", labels{"result", "hit"}, float64(em.DigitalJobs.Hits))
+	p.value("msoc_module_cache_digital_jobs_total", labels{"result", "miss"}, float64(em.DigitalJobs.Misses))
+	p.family("msoc_module_cache_digital_job_entries", "Cached (digital SOC, width) job slices in the cross-design digital-jobs cache.", "gauge")
+	p.value("msoc_module_cache_digital_job_entries", nil, float64(em.DigitalJobEntries))
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -331,6 +361,11 @@ func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []Wor
 		s := m.httpDur[ep]
 		p.value("msoc_http_request_duration_seconds_sum", labels{"endpoint", ep}, s.sum)
 		p.value("msoc_http_request_duration_seconds_count", labels{"endpoint", ep}, float64(s.count))
+	}
+
+	p.family("msoc_batch_items_total", "POST /v1/batch items, by outcome (ok, deduped onto another item's execution, error).", "counter")
+	for _, result := range []string{batchItemDeduped, batchItemError, batchItemOK} {
+		p.value("msoc_batch_items_total", labels{"result", result}, float64(m.batchItems[result]))
 	}
 
 	p.family("msoc_panics_total", "Handler panics recovered into structured 500 responses.", "counter")

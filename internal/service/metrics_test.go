@@ -9,6 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"mixsoc/internal/core"
+	"mixsoc/internal/registry"
 )
 
 // promSeries is one parsed sample: the full series key (name plus its
@@ -191,6 +194,81 @@ func TestMetricsEndpointParsesAndCountersMove(t *testing.T) {
 	final := scrape(t, ts)
 	if got := final[`msoc_http_requests_total{endpoint="/v1/plan",code="400"}`]; got != 1 {
 		t.Errorf("http_requests_total{/v1/plan,400} = %v, want 1", got)
+	}
+}
+
+// The module-cache and batch families: present (at zero) on an idle
+// scrape so collectors learn the series before traffic, moved by a
+// near-duplicate plan and a deduplicating batch call, and still strict
+// exposition format throughout.
+func TestMetricsModuleCacheAndBatchFamilies(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	before := scrape(t, ts)
+	for _, key := range []string{
+		`msoc_module_cache_stairs_total{result="hit"}`,
+		`msoc_module_cache_stairs_total{result="miss"}`,
+		`msoc_module_cache_stair_entries`,
+		`msoc_module_cache_digital_jobs_total{result="hit"}`,
+		`msoc_module_cache_digital_jobs_total{result="miss"}`,
+		`msoc_module_cache_digital_job_entries`,
+		`msoc_batch_items_total{result="ok"}`,
+		`msoc_batch_items_total{result="deduped"}`,
+		`msoc_batch_items_total{result="error"}`,
+	} {
+		if got, ok := before[key]; !ok || got != 0 {
+			t.Errorf("idle scrape: %s = %v, %v; want 0, present", key, got, ok)
+		}
+	}
+
+	// A plan of the default design followed by a near-duplicate of it
+	// (one module's pattern count bumped) must reuse the unchanged
+	// modules' staircases across the two engine sessions.
+	if status, body := post(t, ts, "/v1/plan", PlanRequest{Width: 32}); status != http.StatusOK {
+		t.Fatalf("plan: status %d: %s", status, body)
+	}
+	nd, err := registry.Lookup("p93791m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := nd.Digital.Modules
+	mods[len(mods)-1].Tests[0].Patterns++
+	raw, err := core.MarshalDesign(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, body := post(t, ts, "/v1/plan", PlanRequest{Width: 32, Design: raw}); status != http.StatusOK {
+		t.Fatalf("near-duplicate plan: status %d: %s", status, body)
+	}
+	cached := scrape(t, ts)
+	if got := cached[`msoc_module_cache_stairs_total{result="hit"}`]; got == 0 {
+		t.Error("near-duplicate plan produced no module staircase hits")
+	}
+	if got := cached[`msoc_module_cache_stair_entries`]; got == 0 {
+		t.Error("stair entries gauge still 0 after two plans")
+	}
+	if got := cached[`msoc_module_cache_digital_jobs_total{result="miss"}`]; got == 0 {
+		t.Error("digital-jobs cache never built a job slice")
+	}
+
+	// One batch: two foldable items, one invalid. The per-item outcome
+	// counters and the endpoint's own request series must both move.
+	batch := BatchRequest{Items: []PlanRequest{{Width: 32}, {Width: 32}, {Width: 0}}}
+	if status, body := post(t, ts, "/v1/batch", batch); status != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", status, body)
+	}
+	after := scrape(t, ts)
+	if got := after[`msoc_batch_items_total{result="ok"}`]; got != 2 {
+		t.Errorf("batch ok items = %v, want 2", got)
+	}
+	if got := after[`msoc_batch_items_total{result="deduped"}`]; got != 1 {
+		t.Errorf("batch deduped items = %v, want 1", got)
+	}
+	if got := after[`msoc_batch_items_total{result="error"}`]; got != 1 {
+		t.Errorf("batch error items = %v, want 1", got)
+	}
+	if got := after[`msoc_http_requests_total{endpoint="/v1/batch",code="200"}`]; got != 1 {
+		t.Errorf("http_requests_total{/v1/batch,200} = %v, want 1", got)
 	}
 }
 

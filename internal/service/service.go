@@ -2,6 +2,8 @@
 // the serving layer of the reproduction. The endpoints:
 //
 //	POST /v1/plan     solve one (width, weights) point
+//	POST /v1/batch    solve many plan requests in one call (deduped by
+//	                  design hash; each item byte-identical to /v1/plan)
 //	POST /v1/sweep    solve a (widths × weights) grid
 //	POST /v1/shard    solve one round-robin shard of a sweep (worker half
 //	                  of a distributed sweep)
@@ -208,6 +210,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
+	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
 	mux.Handle("POST /v1/sweeps", s.instrument("/v1/sweeps", s.handleJobSubmit))
@@ -320,12 +323,10 @@ func (s *Server) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 	}
 	defer release()
 
-	var res *core.Result
-	if req.Exhaustive {
-		res, err = s.engine.PlanExhaustive(ctx, d, req.Width, weights)
-	} else {
-		res, err = s.engine.Plan(ctx, d, req.Width, weights)
-	}
+	res, err := s.engine.PlanWith(ctx, d, req.Width, weights, core.PlanOptions{
+		Exhaustive: req.Exhaustive,
+		Bounded:    req.Bounded,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -437,6 +438,7 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 	}
 	points, err := s.engine.Sweep(ctx, sp.design, sp.widths, sp.weights, core.SweepOptions{
 		Exhaustive: req.Exhaustive,
+		Bounded:    req.Bounded,
 		WarmStart:  req.WarmStart,
 	})
 	if err != nil {
@@ -483,6 +485,7 @@ func (s *Server) Shard(ctx context.Context, req ShardRequest) (*ShardResponse, e
 
 	points, err := s.engine.Sweep(ctx, sp.design, sp.widths, sp.weights, core.SweepOptions{
 		Exhaustive: req.Exhaustive,
+		Bounded:    req.Bounded,
 		Select: func(w int, wt core.Weights) bool {
 			return own[cellKey{w, wt.Time}]
 		},
@@ -574,16 +577,17 @@ func writeResponse(w http.ResponseWriter, v any) {
 	}
 }
 
-// writeError maps an error to its HTTP status: validation to 400, a
-// failed distributed sweep to 502 (with per-worker detail in the body),
-// pool saturation to 503, deadline to 504, cancellation to 499 (client
-// gone), anything else to 500.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// statusFor maps an error to its HTTP status: validation to 400, a
+// failed distributed sweep to 502 (with per-worker detail), pool
+// saturation to 503, deadline to 504, cancellation to 499 (client
+// gone), anything else to 500. Batch items use the same mapping, so an
+// item's status always equals the status the same request would get
+// from POST /v1/plan.
+func statusFor(err error) (status int, workers []WorkerFailure) {
+	status = http.StatusInternalServerError
 	var bad badRequestError
 	var sat saturatedError
 	var dist *distributedSweepError
-	var workers []WorkerFailure
 	switch {
 	case errors.As(err, &bad):
 		status = http.StatusBadRequest
@@ -597,6 +601,13 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		status = 499 // client closed request (nginx convention)
 	}
+	return status, workers
+}
+
+// writeError maps an error to its HTTP status (see statusFor) and
+// writes the JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	status, workers := statusFor(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = WriteJSON(w, ErrorResponse{Error: err.Error(), Workers: workers})

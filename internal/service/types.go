@@ -56,6 +56,12 @@ type PlanRequest struct {
 	// Exhaustive selects the exhaustive baseline instead of the
 	// Cost_Optimizer heuristic.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Bounded enables branch-and-bound pruning: the planner skips
+	// packing candidates whose cost lower bound cannot beat the
+	// incumbent. The best cost and selection are bit-identical to an
+	// unbounded plan; neval shrinks and the result carries a Pruned
+	// count.
+	Bounded bool `json:"bounded,omitempty"`
 	// TimeoutMS caps this request's planning time in milliseconds; 0
 	// inherits the server default. Values above the server cap are
 	// clamped to it.
@@ -91,6 +97,9 @@ type SweepRequest struct {
 	WTs []float64 `json:"wts,omitempty"`
 	// Exhaustive selects the exhaustive baseline per grid point.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Bounded enables branch-and-bound pruning per grid point; see
+	// PlanRequest.Bounded.
+	Bounded bool `json:"bounded,omitempty"`
 	// WarmStart chains TAM packings across widths — faster, but
 	// makespans may deviate a few percent from a cold sweep (see
 	// core.SweepOptions.WarmStart); cold results are bit-identical to
@@ -132,6 +141,11 @@ type ShardRequest struct {
 	WTs []float64 `json:"wts,omitempty"`
 	// Exhaustive selects the exhaustive baseline per grid point.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Bounded enables branch-and-bound pruning per grid point; the
+	// coordinator forwards it verbatim (see PlanRequest.Bounded —
+	// per-point best cost and selection are unchanged by it, so sharded
+	// merges stay byte-compatible with unsharded bounded sweeps).
+	Bounded bool `json:"bounded,omitempty"`
 	// Shard is this worker's index in the round-robin split: it owns the
 	// weights-major cells shard, shard+of, shard+2·of, ….
 	Shard int `json:"shard"`

@@ -92,6 +92,24 @@ func (j *Job) volume(binWidth int) int64 {
 	return int64(p.Width) * p.Time
 }
 
+// minVolume is the smallest wire-cycle area among the job's usable
+// options — the least work any feasible placement can add to the bin
+// (staircases trade wires for time imperfectly, so the cheapest area
+// need not sit at either end).
+func (j *Job) minVolume(binWidth int) int64 {
+	u := j.usable(binWidth)
+	if len(u) == 0 {
+		u = j.Options[:1]
+	}
+	best := int64(u[0].Width) * u[0].Time
+	for _, p := range u[1:] {
+		if v := int64(p.Width) * p.Time; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
 // Placement is one scheduled job.
 type Placement struct {
 	Job    *Job
@@ -198,6 +216,41 @@ func LowerBound(jobs []*Job, width int) int64 {
 	groupTime := map[string]int64{}
 	for _, j := range jobs {
 		volume += j.volume(width)
+		mt := j.minTime(width)
+		if mt > longest {
+			longest = mt
+		}
+		if j.Group != "" {
+			groupTime[j.Group] += mt
+		}
+	}
+	for _, t := range groupTime {
+		if t > longest {
+			longest = t
+		}
+	}
+	if lb := (volume + int64(width) - 1) / int64(width); lb > longest {
+		return lb
+	}
+	return longest
+}
+
+// AdmissibleLowerBound is LowerBound with the volume term taken at
+// each job's cheapest usable option instead of its widest. LowerBound
+// is the packer's improvement target — its widest-option volume tracks
+// what greedy packings actually spend, but can exceed the area of a
+// schedule that narrows a job, so it is not a bound on every valid
+// schedule. This one is: any placement of job j covers at least
+// minVolume(j) wire-cycles and runs at least its widest-option time,
+// and a shared wrapper group's jobs serialize, so no valid schedule of
+// the jobs — packed by this library or otherwise — finishes earlier.
+// Branch-and-bound pruning needs exactly that admissibility.
+func AdmissibleLowerBound(jobs []*Job, width int) int64 {
+	var volume int64
+	var longest int64
+	groupTime := map[string]int64{}
+	for _, j := range jobs {
+		volume += j.minVolume(width)
 		mt := j.minTime(width)
 		if mt > longest {
 			longest = mt

@@ -27,6 +27,14 @@ type StaircaseCache struct {
 
 	mu sync.Mutex
 	m  map[*itc02.Module]*stairEntry
+
+	// Shared mode (see Share): staircases are served from a cross-design
+	// store under a content-hash key instead of the private map. keys
+	// memoizes the hash per module pointer, so each module is hashed
+	// once per cache rather than once per request.
+	store *ModuleStairStore
+	key   func(*itc02.Module) string
+	keys  map[*itc02.Module]string
 }
 
 type stairEntry struct {
@@ -47,11 +55,52 @@ func NewStaircaseCache(maxW int) *StaircaseCache {
 // MaxWidth reports the width the cache precomputes staircases up to.
 func (c *StaircaseCache) MaxWidth() int { return c.maxW }
 
+// Share routes the cache's staircases through a cross-design store: each
+// module is keyed by key(m) — a content hash — and served from store, so
+// identical modules of different designs compute their staircase once
+// between them. A key of "" opts that module out (it falls back to the
+// private per-pointer path). Results are bit-identical to the unshared
+// cache. Call before the cache's first use.
+func (c *StaircaseCache) Share(store *ModuleStairStore, key func(*itc02.Module) string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = store
+	c.key = key
+	c.keys = map[*itc02.Module]string{}
+}
+
+// sharedKey returns the store and memoized content key for m, or a nil
+// store when the cache is unshared (or the module opted out).
+func (c *StaircaseCache) sharedKey(m *itc02.Module) (*ModuleStairStore, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.store == nil {
+		return nil, ""
+	}
+	k, ok := c.keys[m]
+	if !ok {
+		k = c.key(m)
+		c.keys[m] = k
+	}
+	if k == "" {
+		return nil, ""
+	}
+	return c.store, k
+}
+
 // Pareto returns the module's staircase of useful widths up to w, the
 // same points Pareto(m, w) computes, served as a shared read-only
 // prefix slice of the cached full-width staircase.
 func (c *StaircaseCache) Pareto(m *itc02.Module, w int) ([]Point, error) {
-	if c == nil || m == nil || w < 1 || w > c.maxW {
+	if c == nil || m == nil || w < 1 {
+		return Pareto(m, w)
+	}
+	// Shared mode serves every width — the store grows on demand, so
+	// even requests beyond maxW stay deduplicated across designs.
+	if store, key := c.sharedKey(m); store != nil {
+		return store.Pareto(key, m, w)
+	}
+	if w > c.maxW {
 		return Pareto(m, w)
 	}
 	c.mu.Lock()

@@ -1,0 +1,125 @@
+package wrapper
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mixsoc/internal/itc02"
+)
+
+// ModuleStairStore shares wrapper staircases across designs. Where
+// StaircaseCache keys by module pointer — exact but private to one
+// design session — the store keys by a caller-supplied content hash, so
+// two near-duplicate SOCs (a design revision that touched one core, a
+// generated family sharing a module library) compute each distinct
+// module's staircase once between them. A staircase depends only on the
+// module's pins, scan chains and tests, which is exactly what a content
+// hash covers, so a shared answer is bit-identical to a private one.
+//
+// Entries precompute up to a floor width and grow on demand: a request
+// beyond an entry's width replaces it with a wider computation, and the
+// prefix property (see StaircaseCache) serves every narrower width from
+// whatever is stored. Computation is single-flight per key; concurrent
+// requesters of the same module wait rather than duplicate the design
+// work. The store is safe for concurrent use and the returned slices
+// are shared read-only prefixes. A nil store falls back to computing
+// from scratch.
+type ModuleStairStore struct {
+	floor      int // minimum precompute width for new entries
+	maxEntries int // entry cap; an arbitrary other entry is evicted past it
+
+	hits, misses atomic.Uint64
+
+	mu sync.Mutex
+	m  map[string]*storeEntry
+}
+
+type storeEntry struct {
+	done chan struct{} // closed once pts/err are final
+	maxW int
+	pts  []Point
+	err  error
+}
+
+// NewModuleStairStore returns a store whose new entries precompute
+// staircases up to floor wires (wider requests grow them) and which
+// keeps at most maxEntries distinct modules.
+func NewModuleStairStore(floor, maxEntries int) *ModuleStairStore {
+	if floor < 1 {
+		floor = 1
+	}
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &ModuleStairStore{floor: floor, maxEntries: maxEntries, m: map[string]*storeEntry{}}
+}
+
+// Pareto returns the module's staircase of useful widths up to w — the
+// same points Pareto(m, w) computes — served from the entry keyed by
+// the module's content hash, computing or growing it as needed. An
+// empty key bypasses the store.
+func (s *ModuleStairStore) Pareto(key string, m *itc02.Module, w int) ([]Point, error) {
+	if s == nil || key == "" || m == nil || w < 1 {
+		return Pareto(m, w)
+	}
+	s.mu.Lock()
+	e := s.m[key]
+	if e == nil || e.maxW < w {
+		// Missing or too narrow: compute a replacement wide enough for
+		// this request and the floor. Waiters on a replaced narrower
+		// entry still hold their pointer and finish normally.
+		e = &storeEntry{done: make(chan struct{}), maxW: max(w, s.floor)}
+		s.m[key] = e
+		s.evictLocked(key)
+		s.mu.Unlock()
+		s.misses.Add(1)
+		e.pts, e.err = Pareto(m, e.maxW)
+		close(e.done)
+	} else {
+		s.mu.Unlock()
+		<-e.done
+		s.hits.Add(1)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	// First index whose width exceeds w; the three-index slice keeps
+	// callers from appending into the shared tail.
+	i := sort.Search(len(e.pts), func(i int) bool { return e.pts[i].Width > w })
+	return e.pts[:i:i], nil
+}
+
+// evictLocked drops arbitrary entries other than keep until the store
+// is within its cap. Evicting an in-flight entry is safe: its owner
+// still completes it for the waiters holding the pointer; only future
+// requests recompute.
+func (s *ModuleStairStore) evictLocked(keep string) {
+	for len(s.m) > s.maxEntries {
+		for k := range s.m {
+			if k != keep {
+				delete(s.m, k)
+				break
+			}
+		}
+	}
+}
+
+// Stats returns the store's lifetime hit and miss counts: a miss
+// designed a wrapper staircase (or grew one), a hit reused one.
+func (s *ModuleStairStore) Stats() (hits, misses uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Len returns the number of stored modules, completed or in flight.
+func (s *ModuleStairStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
