@@ -52,6 +52,7 @@ import (
 	"mixsoc/internal/experiments"
 	"mixsoc/internal/registry"
 	"mixsoc/internal/socgen"
+	"mixsoc/internal/tam"
 )
 
 type report struct {
@@ -145,6 +146,28 @@ func benchmarks() []benchmark {
 			return map[string]float64{
 				"NEval":    float64(res.NEval),
 				"pruned":   float64(res.Pruned),
+				"cost":     res.Best.Cost,
+				"makespan": float64(res.Best.TestTime),
+			}, nil
+		}},
+		// plan-rectangle runs the plan-heuristic cell through the
+		// rectangle bin-packing backend, so the alternative packer keeps
+		// its own perf and schedule-quality trail next to the occupancy
+		// default (its metrics are intentionally its own, not
+		// plan-heuristic's: a different packer may trade makespan).
+		{"plan-rectangle", func() (map[string]float64, error) {
+			pk, err := core.PackerFor(tam.BackendRectangle)
+			if err != nil {
+				return nil, err
+			}
+			pl := core.NewPlanner(experiments.Design(), 48, core.EqualWeights)
+			pl.Packer = pk
+			res, err := pl.CostOptimizer()
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"NEval":    float64(res.NEval),
 				"cost":     res.Best.Cost,
 				"makespan": float64(res.Best.TestTime),
 			}, nil
@@ -257,7 +280,7 @@ func main() {
 	out := flag.String("out", ".", "directory for the BENCH_*.json files")
 	repeat := flag.Int("repeat", 3, "runs per benchmark; the best wall time is reported")
 	workers := flag.Int("workers", 0, "cap the worker pool (0 = all CPUs)")
-	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, plan-bounded, plan-d695m, plan-g1023m, plan-t512505m, near-dup-cache, sweep-warm, or all")
+	which := flag.String("bench", "all", "benchmark to run: table1, table3, table4, plan-heuristic, plan-exhaustive, plan-bounded, plan-rectangle, plan-d695m, plan-g1023m, plan-t512505m, near-dup-cache, sweep-warm, or all")
 	compare := flag.Bool("compare", false, "compare two perf trails (files or directories) given as positional args and exit non-zero on regression")
 	trend := flag.Bool("trend", false, "print per-benchmark wall-time trajectories across the trails given as positional args (chronological order) and exit non-zero on regression")
 	shardSpec := flag.String("shard", "", "compute one shard of the experiment grid, as N/M (e.g. 0/2); writes SHARD_N_of_M.json into -out")

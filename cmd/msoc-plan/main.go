@@ -5,7 +5,7 @@
 // Usage:
 //
 //	msoc-plan [-soc file.soc | -benchmark name] [-width 32] [-wt 0.5]
-//	          [-exhaustive] [-bounded] [-gantt] [-json]
+//	          [-exhaustive] [-bounded] [-backend rectangle] [-gantt] [-json]
 //	          [-sweep [-widths 32,40,48,56,64] [-wts 0.5,0.25,0.75]]
 //	          [-server http://host:8093 [-poll 500ms]]
 //
@@ -15,6 +15,13 @@
 // -benchmark, a named design from the embedded registry is planned —
 // any mixed-signal name from mixsoc.Benchmarks(), e.g. d695m or
 // t512505m.
+//
+// With -backend the TAM packer is chosen explicitly: "occupancy" (the
+// paper's occupancy-sweep optimizer, also the default when the flag is
+// absent), "rectangle" (the diagonal-ordered rectangle bin-packing
+// backend), or "tournament" (every backend packs, the best validated
+// makespan wins). Omitting the flag keeps the original pipeline
+// byte-for-byte.
 //
 // With -json the plan is printed as the serving layer's PlanResponse
 // JSON — byte-identical to what a msoc-serve POST /v1/plan returns for
@@ -53,6 +60,7 @@ import (
 	"mixsoc"
 	"mixsoc/internal/core"
 	"mixsoc/internal/service"
+	"mixsoc/internal/tam"
 )
 
 func main() {
@@ -65,6 +73,7 @@ func main() {
 	wt := flag.Float64("wt", 0.5, "test-time cost weight wT (wA = 1 - wT)")
 	exhaustive := flag.Bool("exhaustive", false, "use exhaustive evaluation instead of Cost_Optimizer")
 	bounded := flag.Bool("bounded", false, "prune candidates with the admissible cost lower bound (same answer, fewer packings)")
+	backend := flag.String("backend", "", "packing backend: occupancy (default), rectangle, or tournament")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 	csvPath := flag.String("csv", "", "write the schedule as CSV to this file")
 	sweep := flag.Bool("sweep", false, "sweep the -widths × -wts grid instead of a single plan")
@@ -116,30 +125,32 @@ func main() {
 			log.Fatalf("-wts: %v", err)
 		}
 		if *server != "" {
-			runServerSweep(*server, design, *socPath != "", *benchmark, widths, wts, *exhaustive, *bounded, *pollEvery)
+			runServerSweep(*server, design, *socPath != "", *benchmark, widths, wts, *exhaustive, *bounded, *backend, *pollEvery)
 			return
 		}
 		if *jsonOut {
-			printSweepJSON(design, *socPath != "", *benchmark, widths, wts, *exhaustive, *bounded)
+			printSweepJSON(design, *socPath != "", *benchmark, widths, wts, *exhaustive, *bounded, *backend)
 			return
 		}
-		runSweep(design, widths, wts, *exhaustive, *bounded)
+		runSweep(design, widths, wts, *exhaustive, *bounded, *backend)
 		return
 	}
 
 	if *jsonOut {
-		printJSON(design, *socPath != "", *benchmark, *width, *wt, *exhaustive, *bounded)
+		printJSON(design, *socPath != "", *benchmark, *width, *wt, *exhaustive, *bounded, *backend)
 		return
 	}
 
+	packer, err := core.PackerFor(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 	weights := mixsoc.Weights{Time: *wt, Area: 1 - *wt}
 	planner := mixsoc.NewPlanner(design, *width, weights)
 	planner.Bounded = *bounded
+	planner.Packer = packer
 
-	var (
-		res *mixsoc.Result
-		err error
-	)
+	var res *mixsoc.Result
 	if *exhaustive {
 		res, err = planner.Exhaustive()
 	} else {
@@ -152,7 +163,7 @@ func main() {
 	fmt.Printf("TAM width %d, weights wT=%.2f wA=%.2f\n\n", *width, weights.Time, weights.Area)
 	fmt.Print(res.Report(design))
 
-	s, err := mixsoc.ScheduleFor(design, res.Best.Partition, *width)
+	s, err := scheduleFor(design, res.Best.Partition, *width, packer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,6 +189,21 @@ func main() {
 			fmt.Printf("  %-14s width %2d  [%9d .. %9d)\n", p.Job.ID, p.Width, p.Start, p.End)
 		}
 	}
+}
+
+// scheduleFor packs the winning configuration's schedule: on the
+// default path it reuses the shared engine cache (mixsoc.ScheduleFor);
+// with an explicit -backend it packs through that backend so the
+// printed schedule is the one the chosen packer produces.
+func scheduleFor(design *mixsoc.Design, p mixsoc.Partition, width int, packer tam.Packer) (*mixsoc.Schedule, error) {
+	if packer == nil {
+		return mixsoc.ScheduleFor(design, p, width)
+	}
+	jobs, err := core.BuildJobs(design, p, width)
+	if err != nil {
+		return nil, err
+	}
+	return packer.Pack(jobs, width)
 }
 
 // parseInts parses a comma-separated integer list.
@@ -208,12 +234,12 @@ func parseFloats(s string) ([]float64, error) {
 
 // runSweep prints the cost surface over the requested width range and
 // weight settings and the overall cheapest point.
-func runSweep(design *mixsoc.Design, widths []int, wts []float64, exhaustive, bounded bool) {
+func runSweep(design *mixsoc.Design, widths []int, wts []float64, exhaustive, bounded bool, backend string) {
 	weights := make([]mixsoc.Weights, len(wts))
 	for i, wt := range wts {
 		weights[i] = mixsoc.Weights{Time: wt, Area: 1 - wt}
 	}
-	points, err := mixsoc.SweepWith(design, widths, weights, mixsoc.SweepOptions{Exhaustive: exhaustive, Bounded: bounded})
+	points, err := mixsoc.SweepWith(design, widths, weights, mixsoc.SweepOptions{Exhaustive: exhaustive, Bounded: bounded, Backend: backend})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -253,8 +279,8 @@ func method(exhaustive bool) string {
 // POST /v1/plan returns for the same request. Unlike a server, the CLI
 // imposes no planning deadline (the response bytes are unaffected — a
 // deadline can only abort a plan, never change one).
-func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, wt float64, exhaustive, bounded bool) {
-	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark}
+func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, wt float64, exhaustive, bounded bool, backend string) {
+	req := service.PlanRequest{Width: width, WT: &wt, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark, Backend: backend}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {
@@ -276,8 +302,8 @@ func printJSON(design *mixsoc.Design, inline bool, benchmark string, width int, 
 // server's POST /v1/sweeps (identical re-submissions reattach to the
 // existing job), poll until the job is terminal, and print the result
 // bytes — the same bytes -json -sweep prints locally — to stdout.
-func runServerSweep(server string, design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive, bounded bool, pollEvery time.Duration) {
-	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark}
+func runServerSweep(server string, design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive, bounded bool, backend string, pollEvery time.Duration) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark, Backend: backend}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {
@@ -349,8 +375,8 @@ func decodeJob(resp *http.Response) *service.JobResponse {
 // msoc-serve POST /v1/sweep returns for the same grid — the in-process
 // reference the distributed-smoke CI job diffs a coordinator's merged
 // response against.
-func printSweepJSON(design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive, bounded bool) {
-	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark}
+func printSweepJSON(design *mixsoc.Design, inline bool, benchmark string, widths []int, wts []float64, exhaustive, bounded bool, backend string) {
+	req := service.SweepRequest{Widths: widths, WTs: wts, Exhaustive: exhaustive, Bounded: bounded, Benchmark: benchmark, Backend: backend}
 	if inline {
 		data, err := core.MarshalDesign(design)
 		if err != nil {

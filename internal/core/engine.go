@@ -79,6 +79,12 @@ type Engine struct {
 	retired CacheStats
 
 	designHits, designMisses, evictions, plans atomic.Uint64
+
+	// backends holds one counter block per registered tam backend,
+	// fixed at construction: packs routed through an explicitly
+	// selected backend count here (the default path stays
+	// uninstrumented), and tournament wins land in the winner's block.
+	backends map[string]*backendCounters
 }
 
 // engineSession is the cache state of one canonicalized design: the
@@ -97,10 +103,20 @@ type engineSession struct {
 
 	mu       sync.Mutex
 	stairs   *wrapper.StaircaseCache
-	byWidth  map[int]*widthCache
+	byWidth  map[widthKey]*widthCache
 	retired  CacheStats // counters of width caches evicted by the LRU, under mu
 	widthSeq uint64     // width-LRU clock, under mu
 	lastUse  uint64     // under Engine.mu
+}
+
+// widthKey keys a session's schedule caches: one cache per (TAM width,
+// packing backend) pair. The default path uses the empty backend, so
+// pre-existing cache keys — and the schedules behind them — are exactly
+// what they were before backends existed; a selected backend's
+// schedules can never be served to (or from) another backend.
+type widthKey struct {
+	width   int
+	backend string
 }
 
 // widthCache is one width's schedule cache plus its LRU stamp.
@@ -126,7 +142,10 @@ func NewEngine(opts EngineOptions) *Engine {
 	if opts.MaxDigitalJobs < 1 {
 		opts.MaxDigitalJobs = 128
 	}
-	e := &Engine{opts: opts, sessions: map[string]*engineSession{}}
+	e := &Engine{opts: opts, sessions: map[string]*engineSession{}, backends: map[string]*backendCounters{}}
+	for _, name := range tam.Backends() {
+		e.backends[name] = &backendCounters{}
+	}
 	if !opts.DisableModuleCache {
 		e.moduleStairs = wrapper.NewModuleStairStore(opts.MaxWidth, opts.MaxModuleStairs)
 		e.digitalJobs = NewDigitalJobsCache(opts.MaxDigitalJobs)
@@ -139,6 +158,40 @@ func (e *Engine) workers() int {
 		return e.opts.Workers
 	}
 	return DefaultWorkers()
+}
+
+// packerFor resolves a backend selection to an instrumented packer:
+// individual backends are wrapped so every pack lands in the engine's
+// per-backend counters, and a tournament additionally feeds the win
+// counter of each pack's winner. The empty selection returns nil — the
+// uninstrumented default path — so default planning stays bit- and
+// cost-identical to an engine without backends.
+func (e *Engine) packerFor(name string) (tam.Packer, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case BackendTournament:
+		backends := make([]tam.Packer, 0, len(e.backends))
+		for _, n := range tam.Backends() {
+			p, err := tam.Lookup(n)
+			if err != nil {
+				return nil, err
+			}
+			backends = append(backends, countingPacker{Packer: p, c: e.backends[n]})
+		}
+		t := &tournamentPacker{backends: backends}
+		t.onWin = func(n string) {
+			if c := e.backends[n]; c != nil {
+				c.wins.Add(1)
+			}
+		}
+		return t, nil
+	}
+	p, err := PackerFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return countingPacker{Packer: p, c: e.backends[p.Name()]}, nil
 }
 
 // session returns the cache session for the design's content hash,
@@ -177,7 +230,7 @@ func (e *Engine) session(d *Design) (*engineSession, error) {
 		hash:      hash,
 		design:    clone,
 		maxWidths: e.opts.MaxWidthCaches,
-		byWidth:   map[int]*widthCache{},
+		byWidth:   map[widthKey]*widthCache{},
 	}
 	s.stairs = s.newStairs(e.opts.MaxWidth)
 	if e.digitalJobs != nil {
@@ -267,22 +320,24 @@ func (s *engineSession) sweepDigital() (*DigitalJobsCache, string) {
 }
 
 // sweepCache implements sweepCaches: the session's cold schedule cache
-// for width w, created on first use. Widths are LRU-bounded
+// for width w under the given packing backend (empty = default),
+// created on first use. (width, backend) pairs are LRU-bounded
 // (maxWidths): evicting one only unshares it — planners already
 // holding the cache keep using it safely — so a client scanning
 // thousands of widths cannot grow the session without limit.
-func (s *engineSession) sweepCache(w int) *ScheduleCache {
+func (s *engineSession) sweepCache(w int, backend string) *ScheduleCache {
+	key := widthKey{width: w, backend: backend}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.widthSeq++
-	if c := s.byWidth[w]; c != nil {
+	if c := s.byWidth[key]; c != nil {
 		c.lastUse = s.widthSeq
 		return c.cache
 	}
 	c := &widthCache{cache: NewScheduleCache(), lastUse: s.widthSeq}
-	s.byWidth[w] = c
+	s.byWidth[key] = c
 	for len(s.byWidth) > s.maxWidths {
-		oldest, oldestUse := 0, ^uint64(0)
+		oldest, oldestUse := widthKey{}, ^uint64(0)
 		for cw, cand := range s.byWidth {
 			if cand.lastUse < oldestUse {
 				oldest, oldestUse = cw, cand.lastUse
@@ -296,16 +351,29 @@ func (s *engineSession) sweepCache(w int) *ScheduleCache {
 	return c.cache
 }
 
+// sweepPacker implements sweepPackers: engine sweeps pack through the
+// engine's instrumented backends.
+func (s *engineSession) sweepPacker(name string) (tam.Packer, error) {
+	return s.engine.packerFor(name)
+}
+
 // planner builds a planner wired to the session's caches, with the
 // paper's defaults — exactly what the one-shot Plan free function runs,
-// plus cache reuse.
-func (s *engineSession) planner(width int, w Weights, workers int) *Planner {
+// plus cache reuse. A non-empty backend routes packing through the
+// named backend (or the tournament) and its own backend-tagged
+// schedule cache.
+func (s *engineSession) planner(width int, w Weights, workers int, backend string) (*Planner, error) {
+	pk, err := s.engine.packerFor(backend)
+	if err != nil {
+		return nil, err
+	}
 	pl := NewPlanner(s.design, width, w)
-	pl.Cache = s.sweepCache(width)
+	pl.Cache = s.sweepCache(width, backend)
 	pl.Staircases = s.sweepStairs(width)
 	pl.Digital, pl.DigitalKey = s.sweepDigital()
 	pl.Workers = workers
-	return pl
+	pl.Packer = pk
+	return pl, nil
 }
 
 // PlanOptions selects the solver variant of Engine.PlanWith.
@@ -316,6 +384,13 @@ type PlanOptions struct {
 	// Bounded enables branch-and-bound pruning; best cost and selection
 	// stay bit-identical to an unbounded solve (see Planner.Bounded).
 	Bounded bool
+	// Backend selects the packing backend by name — "occupancy",
+	// "rectangle", or "tournament" (every backend packs, best makespan
+	// wins). Empty means the default occupancy path with its historical
+	// cache keys and bit-identical results; an unknown name is an
+	// error. Schedules are cached under backend-tagged keys, so
+	// backends never serve each other's packings.
+	Backend string
 }
 
 // Plan runs the paper's Cost_Optimizer heuristic on the design at TAM
@@ -341,7 +416,10 @@ func (e *Engine) PlanWith(ctx context.Context, d *Design, width int, w Weights, 
 	}
 	s.plans.Add(1)
 	e.plans.Add(1)
-	pl := s.planner(width, w, e.workers())
+	pl, err := s.planner(width, w, e.workers(), opts.Backend)
+	if err != nil {
+		return nil, err
+	}
 	pl.Bounded = opts.Bounded
 	if opts.Exhaustive {
 		return pl.ExhaustiveContext(ctx)
@@ -360,7 +438,7 @@ func (e *Engine) Schedule(ctx context.Context, d *Design, p partition.Partition,
 	}
 	s.plans.Add(1)
 	e.plans.Add(1)
-	ev := NewSharedEvaluator(s.design, width, s.sweepCache(width))
+	ev := NewSharedEvaluator(s.design, width, s.sweepCache(width, ""))
 	ev.Staircases = s.sweepStairs(width)
 	ev.Digital, ev.DigitalKey = s.sweepDigital()
 	return ev.ScheduleContext(ctx, p)
@@ -414,8 +492,14 @@ func (e *Engine) Designs() []DesignInfo {
 	for _, s := range sessions {
 		info := DesignInfo{Hash: s.hash, Name: s.design.Name, Plans: s.plans.Load()}
 		s.mu.Lock()
-		for w, c := range s.byWidth {
-			info.Widths = append(info.Widths, w)
+		widths := map[int]bool{}
+		for k, c := range s.byWidth {
+			// A width planned under several backends holds one cache per
+			// backend but lists once.
+			if !widths[k.width] {
+				widths[k.width] = true
+				info.Widths = append(info.Widths, k.width)
+			}
 			info.Schedules += c.cache.Len()
 		}
 		s.mu.Unlock()
@@ -462,6 +546,16 @@ type EngineMetrics struct {
 	// Plans is the engine-lifetime count of planning calls (Plan,
 	// PlanExhaustive, Schedule, Sweep), across live and evicted sessions.
 	Plans uint64 `json:"plans"`
+	// BackendPacks counts TAM packs routed through an explicitly
+	// selected packing backend, by backend name (tournament packs count
+	// once per participating backend). Nil until a backend-routed pack
+	// happens, so default-path responses keep their historical bytes;
+	// default-path packs are the Schedule misses above.
+	BackendPacks map[string]BackendPackStats `json:"backend_packs,omitempty"`
+	// TournamentWins counts, per backend name, the tournament packs the
+	// backend won (smallest makespan, ties to registry order). Nil until
+	// a tournament runs.
+	TournamentWins map[string]uint64 `json:"tournament_wins,omitempty"`
 }
 
 // Metrics returns the engine's cache counters. Schedule hit/miss
@@ -480,6 +574,20 @@ func (e *Engine) Metrics() EngineMetrics {
 	m.ModuleStairEntries = e.moduleStairs.Len()
 	m.DigitalJobs = e.digitalJobs.Stats()
 	m.DigitalJobEntries = e.digitalJobs.Len()
+	for name, c := range e.backends {
+		if ok, errs := c.ok.Load(), c.errs.Load(); ok != 0 || errs != 0 {
+			if m.BackendPacks == nil {
+				m.BackendPacks = map[string]BackendPackStats{}
+			}
+			m.BackendPacks[name] = BackendPackStats{OK: ok, Errors: errs}
+		}
+		if wins := c.wins.Load(); wins != 0 {
+			if m.TournamentWins == nil {
+				m.TournamentWins = map[string]uint64{}
+			}
+			m.TournamentWins[name] = wins
+		}
+	}
 	e.mu.Lock()
 	m.ScheduleTotal = e.retired
 	sessions := make([]*engineSession, 0, len(e.sessions))

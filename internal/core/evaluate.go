@@ -162,6 +162,16 @@ type Evaluator struct {
 	// seeding (not results, but timing) nondeterministic.
 	Warm []*ScheduleCache
 
+	// Packer, when non-nil, is the packing backend every TAM run goes
+	// through; nil means the default occupancy backend (tam.Optimize),
+	// preserving the historical behaviour bit-for-bit. When set, the
+	// backing cache must be private to this backend (see
+	// Engine.sweepCache's backend-tagged keys): entries carry no backend
+	// tag of their own, so mixing backends in one cache would serve one
+	// backend's schedule as another's. Set it before the evaluator's
+	// first use.
+	Packer tam.Packer
+
 	cache *ScheduleCache
 
 	mu      sync.Mutex
@@ -272,6 +282,10 @@ func (e *Evaluator) fill(ctx context.Context, p partition.Partition, key string,
 	}
 	if ctx != nil {
 		opts = append(opts, tam.WithContext(ctx))
+	}
+	if e.Packer != nil {
+		ent.s, ent.err = e.Packer.Pack(jobs, e.Width, opts...)
+		return
 	}
 	ent.s, ent.err = tam.Optimize(jobs, e.Width, opts...)
 }

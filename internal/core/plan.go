@@ -9,6 +9,7 @@ import (
 
 	"mixsoc/internal/analog"
 	"mixsoc/internal/partition"
+	"mixsoc/internal/tam"
 	"mixsoc/internal/wrapper"
 )
 
@@ -69,6 +70,11 @@ type Planner struct {
 	// Warm-started packing is not guaranteed to reproduce cold makespans
 	// bit-for-bit; leave it empty where exact reproduction matters.
 	Warm []*ScheduleCache
+	// Packer, when non-nil, is the packing backend every TAM run goes
+	// through (see Evaluator.Packer and PackerFor); nil is the default
+	// occupancy path, bit-identical to the historical planner. A
+	// non-nil Packer needs a Cache private to that backend.
+	Packer tam.Packer
 }
 
 // NewPlanner returns a planner with the defaults used by the paper's
@@ -142,6 +148,7 @@ func (pl *Planner) evaluator() *Evaluator {
 	e.Digital = pl.Digital
 	e.DigitalKey = pl.DigitalKey
 	e.Warm = pl.Warm
+	e.Packer = pl.Packer
 	return e
 }
 

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"mixsoc/internal/partition"
+	"mixsoc/internal/tam"
 	"mixsoc/internal/wrapper"
 )
 
@@ -54,6 +55,11 @@ type SweepOptions struct {
 	// Workers bounds the sweep's total CPU budget; 0 means
 	// DefaultWorkers.
 	Workers int
+	// Backend selects the packing backend by name for every grid point
+	// (see PlanOptions.Backend). Empty is the default occupancy path —
+	// bit-identical to a sweep before backends existed; an unknown name
+	// fails the sweep before any point is solved.
+	Backend string
 	// Select, when non-nil, restricts the sweep to the grid points for
 	// which it returns true — the hook a sharded runner uses to solve
 	// only its cells of a larger (width, weights) grid. The returned
@@ -113,8 +119,17 @@ func SweepWithContext(ctx context.Context, d *Design, widths []int, weights []We
 type sweepCaches interface {
 	// sweepStairs returns a staircase cache covering widths up to maxW.
 	sweepStairs(maxW int) *wrapper.StaircaseCache
-	// sweepCache returns the cold schedule cache for width w.
-	sweepCache(w int) *ScheduleCache
+	// sweepCache returns the cold schedule cache for width w under the
+	// named packing backend (empty = default); distinct backends must
+	// get distinct caches.
+	sweepCache(w int, backend string) *ScheduleCache
+}
+
+// sweepPackers is an optional extension of sweepCaches: providers that
+// instrument packing (the engine's per-backend counters) resolve
+// backend names themselves. Without it the sweep uses PackerFor.
+type sweepPackers interface {
+	sweepPacker(name string) (tam.Packer, error)
 }
 
 // sweepDigitalJobs is an optional extension of sweepCaches: providers
@@ -160,6 +175,18 @@ func sweepWithCaches(ctx context.Context, d *Design, widths []int, weights []Wei
 	if len(keep) == 0 {
 		return nil, fmt.Errorf("core: sweep selection admits no grid points")
 	}
+	var (
+		packer tam.Packer
+		err    error
+	)
+	if pp, ok := prov.(sweepPackers); ok {
+		packer, err = pp.sweepPacker(opt.Backend)
+	} else {
+		packer, err = PackerFor(opt.Backend)
+	}
+	if err != nil {
+		return nil, err
+	}
 	var stairs *wrapper.StaircaseCache
 	if prov != nil {
 		stairs = prov.sweepStairs(maxW)
@@ -176,7 +203,7 @@ func sweepWithCaches(ctx context.Context, d *Design, widths []int, weights []Wei
 	caches := make(map[int]*ScheduleCache, len(selWidths))
 	for w := range selWidths {
 		if prov != nil && !opt.WarmStart {
-			caches[w] = prov.sweepCache(w)
+			caches[w] = prov.sweepCache(w, opt.Backend)
 		} else {
 			caches[w] = NewScheduleCache()
 		}
@@ -194,6 +221,7 @@ func sweepWithCaches(ctx context.Context, d *Design, widths []int, weights []Wei
 		pl.Warm = warm
 		pl.Workers = inner
 		pl.Bounded = opt.Bounded
+		pl.Packer = packer
 		if opt.Configure != nil {
 			opt.Configure(pl)
 		}

@@ -87,7 +87,7 @@ func batchKey(item PlanRequest) (string, error) {
 	if item.WT != nil {
 		wt = *item.WT
 	}
-	return fmt.Sprintf("%s|%d|%016x|%t|%t", hash, item.Width, math.Float64bits(wt), item.Exhaustive, item.Bounded), nil
+	return fmt.Sprintf("%s|%d|%016x|%t|%t|%s", hash, item.Width, math.Float64bits(wt), item.Exhaustive, item.Bounded, item.Backend), nil
 }
 
 // Batch computes the response of POST /v1/batch for req — the exact

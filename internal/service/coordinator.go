@@ -238,6 +238,7 @@ func (c *coordinator) runShard(ctx context.Context, sp *sweepSpec, req SweepRequ
 		WTs:        sp.wts,
 		Exhaustive: req.Exhaustive,
 		Bounded:    req.Bounded,
+		Backend:    req.Backend,
 		Shard:      shard,
 		Of:         of,
 	}

@@ -91,6 +91,9 @@ type JobResponse struct {
 	// Bounded records whether the job prunes with the admissible cost
 	// lower bound (see SweepRequest.Bounded).
 	Bounded bool `json:"bounded,omitempty"`
+	// Backend records the packing backend the job plans with; empty is
+	// the default occupancy backend (see PlanRequest.Backend).
+	Backend string `json:"backend,omitempty"`
 	// ShardsDone counts the shards with a verified partial (checkpointed
 	// or recovered).
 	ShardsDone int `json:"shards_done"`
@@ -158,6 +161,7 @@ type jobManifest struct {
 	WTs        []float64       `json:"wts"`
 	Exhaustive bool            `json:"exhaustive,omitempty"`
 	Bounded    bool            `json:"bounded,omitempty"`
+	Backend    string          `json:"backend,omitempty"`
 	Of         int             `json:"of"`
 	CreatedAt  string          `json:"created_at"`
 }
@@ -245,15 +249,19 @@ func (m *jobManager) close() {
 
 // jobID derives the content key every equivalent sweep submission
 // shares: the design hash plus the normalized grid axes and the
-// exhaustive and bounded flags. Deterministic across processes and
-// restarts, which is what makes dedupe survive a coordinator crash.
-// Unbounded jobs keep the pre-bounded key shape, so checkpoints
-// written by an older binary still re-derive their IDs at recovery.
-func jobID(sp *sweepSpec, exhaustive, bounded bool) string {
+// exhaustive, bounded and backend flags. Deterministic across processes
+// and restarts, which is what makes dedupe survive a coordinator crash.
+// Unbounded default-backend jobs keep the original key shape — each
+// flag joins the hash only when set — so checkpoints written by an
+// older binary still re-derive their IDs at recovery.
+func jobID(sp *sweepSpec, exhaustive, bounded bool, backend string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%v|%v|%t", sp.hash, sp.widths, sp.wts, exhaustive)
 	if bounded {
 		fmt.Fprintf(h, "|bounded")
+	}
+	if backend != "" {
+		fmt.Fprintf(h, "|backend=%s", backend)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
@@ -282,7 +290,12 @@ func (m *jobManager) submit(req SweepRequest) (j *job, created bool, err error) 
 		return nil, false, badRequestf("durable jobs need duplicate-free width and wt axes (cells are checkpointed by grid coordinate)")
 	}
 
-	id := jobID(sp, req.Exhaustive, req.Bounded)
+	if err := validateBackend(req.Backend); err != nil {
+		observe(jobSubmitRejected)
+		return nil, false, err
+	}
+
+	id := jobID(sp, req.Exhaustive, req.Bounded, req.Backend)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if existing, ok := m.jobs[id]; ok {
@@ -319,6 +332,7 @@ func (m *jobManager) submit(req SweepRequest) (j *job, created bool, err error) 
 			WTs:        sp.wts,
 			Exhaustive: req.Exhaustive,
 			Bounded:    req.Bounded,
+			Backend:    req.Backend,
 			Of:         of,
 			CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		},
@@ -403,6 +417,7 @@ func (m *jobManager) run(j *job, sp *sweepSpec) {
 		WTs:        j.manifest.WTs,
 		Exhaustive: j.manifest.Exhaustive,
 		Bounded:    j.manifest.Bounded,
+		Backend:    j.manifest.Backend,
 	}
 	homes, fleetOK := m.srv.fleet.assign(sp.cells())
 
@@ -477,6 +492,7 @@ func (m *jobManager) solveShard(sp *sweepSpec, req SweepRequest, shard, of int, 
 		WTs:        req.WTs,
 		Exhaustive: req.Exhaustive,
 		Bounded:    req.Bounded,
+		Backend:    req.Backend,
 		Shard:      shard,
 		Of:         of,
 	})
@@ -629,6 +645,7 @@ func (j *job) status() *JobResponse {
 		WTs:         j.manifest.WTs,
 		Exhaustive:  j.manifest.Exhaustive,
 		Bounded:     j.manifest.Bounded,
+		Backend:     j.manifest.Backend,
 		ShardsDone:  j.done,
 		ShardsTotal: j.manifest.Of,
 		Shards:      make([]JobShardInfo, len(j.shards)),
@@ -687,7 +704,10 @@ func (m *jobManager) recoverJob(dir string) error {
 	if err != nil {
 		return fmt.Errorf("manifest does not validate: %w", err)
 	}
-	if man.ID != jobID(sp, man.Exhaustive, man.Bounded) {
+	if err := validateBackend(man.Backend); err != nil {
+		return fmt.Errorf("manifest does not validate: %w", err)
+	}
+	if man.ID != jobID(sp, man.Exhaustive, man.Bounded, man.Backend) {
 		return fmt.Errorf("manifest ID %s does not match its content key", man.ID)
 	}
 	if man.DesignHash != sp.hash {

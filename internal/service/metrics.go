@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mixsoc/internal/core"
+	"mixsoc/internal/tam"
 )
 
 // The per-worker shard outcome labels of msoc_worker_shards_total.
@@ -321,6 +322,18 @@ func (m *metricsRegistry) render(w io.Writer, em core.EngineMetrics, fleet []Wor
 	p.family("msoc_engine_schedule_cache_total", "Engine-lifetime TAM schedule cache lookups by outcome (includes evicted caches; a miss ran the TAM optimizer).", "counter")
 	p.value("msoc_engine_schedule_cache_total", labels{"result", "hit"}, float64(em.ScheduleTotal.Hits))
 	p.value("msoc_engine_schedule_cache_total", labels{"result", "miss"}, float64(em.ScheduleTotal.Misses))
+	// Backend families enumerate the registry in fixed order so every
+	// (backend, result) series is present at zero from the first scrape.
+	p.family("msoc_backend_packs_total", "TAM packs routed through an explicitly selected packing backend, by backend and outcome (tournament packs count once per participating backend; default-path packs are the schedule-cache misses).", "counter")
+	for _, backend := range tam.Backends() {
+		st := em.BackendPacks[backend]
+		p.value("msoc_backend_packs_total", labels{"backend", backend, "result", "error"}, float64(st.Errors))
+		p.value("msoc_backend_packs_total", labels{"backend", backend, "result", "ok"}, float64(st.OK))
+	}
+	p.family("msoc_backend_tournament_wins_total", "Backend tournament packs won, by winning backend (smallest makespan; ties go to the earlier backend in registry order).", "counter")
+	for _, backend := range tam.Backends() {
+		p.value("msoc_backend_tournament_wins_total", labels{"backend", backend}, float64(em.TournamentWins[backend]))
+	}
 	p.family("msoc_module_cache_stairs_total", "Cross-design module staircase store lookups by outcome (a miss designed a wrapper staircase, a hit reused one — including across near-duplicate designs).", "counter")
 	p.value("msoc_module_cache_stairs_total", labels{"result", "hit"}, float64(em.ModuleStairs.Hits))
 	p.value("msoc_module_cache_stairs_total", labels{"result", "miss"}, float64(em.ModuleStairs.Misses))

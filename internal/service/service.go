@@ -303,6 +303,9 @@ func (s *Server) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 	if err != nil {
 		return nil, err
 	}
+	if err := validateBackend(req.Backend); err != nil {
+		return nil, err
+	}
 	d, err := resolveDesign(req.Design, req.SOC, req.Benchmark)
 	if err != nil {
 		return nil, err
@@ -326,6 +329,7 @@ func (s *Server) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 	res, err := s.engine.PlanWith(ctx, d, req.Width, weights, core.PlanOptions{
 		Exhaustive: req.Exhaustive,
 		Bounded:    req.Bounded,
+		Backend:    req.Backend,
 	})
 	if err != nil {
 		return nil, err
@@ -421,6 +425,9 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 	if err != nil {
 		return nil, err
 	}
+	if err := validateBackend(req.Backend); err != nil {
+		return nil, err
+	}
 
 	ctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
 	defer cancel()
@@ -440,6 +447,7 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 		Exhaustive: req.Exhaustive,
 		Bounded:    req.Bounded,
 		WarmStart:  req.WarmStart,
+		Backend:    req.Backend,
 	})
 	if err != nil {
 		return nil, err
@@ -454,6 +462,9 @@ func (s *Server) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, e
 func (s *Server) Shard(ctx context.Context, req ShardRequest) (*ShardResponse, error) {
 	sp, err := validateSweep(req.Design, req.SOC, req.Benchmark, req.Widths, req.WTs)
 	if err != nil {
+		return nil, err
+	}
+	if err := validateBackend(req.Backend); err != nil {
 		return nil, err
 	}
 	if !sp.distributable() {
@@ -486,6 +497,7 @@ func (s *Server) Shard(ctx context.Context, req ShardRequest) (*ShardResponse, e
 	points, err := s.engine.Sweep(ctx, sp.design, sp.widths, sp.weights, core.SweepOptions{
 		Exhaustive: req.Exhaustive,
 		Bounded:    req.Bounded,
+		Backend:    req.Backend,
 		Select: func(w int, wt core.Weights) bool {
 			return own[cellKey{w, wt.Time}]
 		},

@@ -91,6 +91,51 @@ func TestPlanEndpointBitIdenticalToDirect(t *testing.T) {
 	}
 }
 
+// An explicit backend must round-trip like any other solver knob — the
+// served response matches a direct planner run with that packer — and
+// must never leak into the default path: the same default request
+// answers identical bytes before and after a rectangle-backend plan
+// (the engine keys schedule caches by backend).
+func TestBackendPlanBitIdenticalAndIsolated(t *testing.T) {
+	_, ts := newTestServer(t)
+	wt := 0.5
+	_, before := post(t, ts, "/v1/plan", PlanRequest{Width: 32, WT: &wt})
+
+	status, rect := post(t, ts, "/v1/plan", PlanRequest{Width: 32, WT: &wt, Backend: "rectangle"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, rect)
+	}
+	d := experiments.Design()
+	pk, err := core.PackerFor("rectangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPlanner(d, 32, core.EqualWeights)
+	pl.Packer = pk
+	res, err := pl.CostOptimizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := core.DesignHash(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteJSON(&want, &PlanResponse{
+		DesignHash: hash, Width: 32, Weights: core.EqualWeights, Result: res,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rect, want.Bytes()) {
+		t.Fatal("served rectangle plan differs from a direct planner run with the rectangle packer")
+	}
+
+	_, after := post(t, ts, "/v1/plan", PlanRequest{Width: 32, WT: &wt})
+	if !bytes.Equal(before, after) {
+		t.Fatal("default plan bytes changed after a rectangle-backend plan")
+	}
+}
+
 // A served cold /v1/sweep must match direct mixsoc-level SweepWith
 // bit for bit, point for point.
 func TestSweepEndpointBitIdenticalToDirect(t *testing.T) {
@@ -236,8 +281,11 @@ func TestRequestValidation(t *testing.T) {
 		{"/v1/plan", PlanRequest{Width: 32, Benchmark: "no-such-soc"}},
 		{"/v1/plan", PlanRequest{Width: 32, Benchmark: "p93791m", Design: json.RawMessage(`{}`)}},
 		{"/v1/plan", PlanRequest{Width: 32, Design: json.RawMessage(`{"digital":{}}`)}},
+		{"/v1/plan", PlanRequest{Width: 32, Backend: "no-such-backend"}},
 		{"/v1/sweep", SweepRequest{}},
 		{"/v1/sweep", SweepRequest{Widths: make([]int, MaxSweepCells+1)}},
+		{"/v1/sweep", SweepRequest{Widths: []int{32}, Backend: "no-such-backend"}},
+		{"/v1/shard", ShardRequest{Widths: []int{32}, Backend: "no-such-backend", Of: 1}},
 	}
 	for _, tc := range bad {
 		status, body := post(t, ts, tc.path, tc.body)

@@ -62,6 +62,12 @@ type PlanRequest struct {
 	// unbounded plan; neval shrinks and the result carries a Pruned
 	// count.
 	Bounded bool `json:"bounded,omitempty"`
+	// Backend selects the packing backend: "occupancy" (the default
+	// algorithm), "rectangle" (diagonal-ordered rectangle bin packing),
+	// or "tournament" (every backend packs, the best makespan wins).
+	// Empty means the default occupancy path with byte-identical
+	// responses; an unknown name is a 400.
+	Backend string `json:"backend,omitempty"`
 	// TimeoutMS caps this request's planning time in milliseconds; 0
 	// inherits the server default. Values above the server cap are
 	// clamped to it.
@@ -105,6 +111,9 @@ type SweepRequest struct {
 	// core.SweepOptions.WarmStart); cold results are bit-identical to
 	// direct mixsoc.SweepWith calls.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Backend selects the packing backend for every grid point; see
+	// PlanRequest.Backend.
+	Backend string `json:"backend,omitempty"`
 	// TimeoutMS caps this request's planning time; see
 	// PlanRequest.TimeoutMS.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -146,6 +155,10 @@ type ShardRequest struct {
 	// per-point best cost and selection are unchanged by it, so sharded
 	// merges stay byte-compatible with unsharded bounded sweeps).
 	Bounded bool `json:"bounded,omitempty"`
+	// Backend selects the packing backend per grid point, forwarded
+	// verbatim by the coordinator so every shard packs with the same
+	// algorithm; see PlanRequest.Backend.
+	Backend string `json:"backend,omitempty"`
 	// Shard is this worker's index in the round-robin split: it owns the
 	// weights-major cells shard, shard+of, shard+2·of, ….
 	Shard int `json:"shard"`
@@ -389,6 +402,15 @@ func weightsFor(wt float64) (core.Weights, error) {
 func validateWidth(w int) error {
 	if w < 1 || w > MaxWidth {
 		return badRequestf("width %d out of range [1, %d]", w, MaxWidth)
+	}
+	return nil
+}
+
+// validateBackend rejects unknown packing-backend names as client
+// errors (400); the empty name is the default backend and always valid.
+func validateBackend(name string) error {
+	if _, err := core.PackerFor(name); err != nil {
+		return badRequestf("unknown packing backend %q (have %v)", name, core.Backends())
 	}
 	return nil
 }

@@ -101,15 +101,8 @@ func Optimize(jobs []*Job, width int, opts ...Option) (*Schedule, error) {
 	if len(jobs) == 0 {
 		return &Schedule{Width: width}, nil
 	}
-	seen := map[string]bool{}
-	for _, j := range jobs {
-		if err := j.Validate(width); err != nil {
-			return nil, err
-		}
-		if seen[j.ID] {
-			return nil, fmt.Errorf("tam: duplicate job ID %s", j.ID)
-		}
-		seen[j.ID] = true
+	if err := validateJobs(jobs, width); err != nil {
+		return nil, err
 	}
 
 	target := LowerBound(jobs, width)

@@ -83,6 +83,10 @@ type (
 	Partition = partition.Partition
 	// Schedule is a packed TAM test schedule.
 	Schedule = tam.Schedule
+	// Packer is a pluggable TAM packing backend; see PackingBackends
+	// and PackerFor, and set Planner.Packer or SweepOptions.Backend to
+	// use one.
+	Packer = tam.Packer
 
 	// Engine is a long-lived planning handle with per-design caches,
 	// LRU eviction, and context cancellation; see NewEngine.
@@ -122,6 +126,16 @@ const (
 
 // EqualWeights is the balanced cost setting wT = wA = 0.5.
 var EqualWeights = core.EqualWeights
+
+// PackingBackends lists the selectable packing-backend names: the tam
+// backends ("occupancy", "rectangle") plus the "tournament" composite
+// that runs every backend and keeps the best validated makespan.
+func PackingBackends() []string { return core.Backends() }
+
+// PackerFor resolves a packing-backend name to a Packer. The empty
+// name resolves to (nil, nil) — the planner's default occupancy path,
+// byte-identical to leaving Planner.Packer unset.
+func PackerFor(name string) (Packer, error) { return core.PackerFor(name) }
 
 // NewEngine returns a long-lived planning engine: it keeps a wrapper
 // staircase cache and per-width TAM schedule caches for every design
